@@ -1,0 +1,80 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+* scheduler policy (the convergence optimizer vs alternatives),
+* soft-barrier threshold sensitivity for every Loop Merge workload,
+* static vs dynamic work distribution (thread coarsening flavors),
+* cost-model sensitivity (results should be scale-invariant in shape).
+"""
+
+from repro.harness.report import format_table
+from repro.simt import CostModel, GPUMachine, GlobalMemory
+from repro.workloads import get_workload
+
+
+def test_scheduler_ablation(once):
+    """The convergence optimizer beats naive policies on divergent code."""
+
+    def run():
+        workload = get_workload("pathtracer", samples_per_thread=4)
+        rows = []
+        for scheduler in ("convergence", "oldest-first", "round-robin"):
+            result = workload.run(mode="baseline", scheduler=scheduler)
+            rows.append((scheduler, result.simt_efficiency, result.cycles))
+        return rows
+
+    rows = once(run)
+    by_name = {name: eff for name, eff, _ in rows}
+    assert by_name["convergence"] >= by_name["round-robin"]
+    print("\n" + format_table(["scheduler", "SIMT efficiency", "cycles"], rows,
+                              title="Scheduler ablation (pathtracer, PDOM baseline)"))
+
+
+def test_threshold_sensitivity(once):
+    """Per-workload best thresholds differ — the Section 4.6 motivation."""
+
+    def run():
+        rows = []
+        for name in ("rsbench", "xsbench", "pathtracer"):
+            workload = get_workload(name)
+            baseline = workload.run(mode="baseline")
+            best = None
+            for k in (2, 8, 16, 24, None):
+                result = workload.run(mode="sr", threshold=k)
+                speedup = baseline.cycles / result.cycles
+                if best is None or speedup > best[1]:
+                    best = (32 if k is None else k, speedup)
+            rows.append((name, best[0], f"{best[1]:.2f}x"))
+        return rows
+
+    rows = once(run)
+    best_k = {name: k for name, k, _ in rows}
+    assert best_k["pathtracer"] > best_k["xsbench"]
+    print("\n" + format_table(["workload", "best threshold", "speedup"], rows,
+                              title="Soft-barrier threshold sensitivity"))
+
+
+def test_cost_model_sensitivity(once):
+    """Scaling all latencies preserves who-wins (shape invariance)."""
+
+    def run():
+        workload = get_workload("mcb", steps=16)
+        rows = []
+        for factor in (0.5, 1.0, 2.0):
+            model = CostModel().scaled(factor)
+            base_prog = workload.compile(mode="baseline")
+            sr_prog = workload.compile(mode="sr")
+            results = []
+            for prog in (base_prog, sr_prog):
+                memory = GlobalMemory()
+                args = workload.setup(memory)
+                machine = GPUMachine(prog.module, cost_model=model)
+                results.append(
+                    machine.launch(workload.kernel_name, 32, args=args, memory=memory)
+                )
+            rows.append((factor, results[0].cycles / results[1].cycles))
+        return rows
+
+    rows = once(run)
+    assert all(speedup > 1.0 for _, speedup in rows)
+    print("\n" + format_table(["latency scale", "SR speedup"], rows,
+                              title="Cost-model sensitivity (mcb)"))

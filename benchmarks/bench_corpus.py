@@ -1,0 +1,21 @@
+"""Section 5.4: the full 520-application funnel.
+
+Paper: "Of the 520 CUDA applications we studied, 75 had a SIMT efficiency
+of less than about 80%. Our implementation detected non-trivial opportunity
+in 16 applications, and 5 showed significant improvement."
+
+This is the slowest benchmark (several minutes); a scaled-down funnel runs
+in the regular test suite.
+"""
+
+from repro.harness import corpus_funnel
+
+
+def test_corpus_funnel_full(once):
+    result = once(corpus_funnel)
+    funnel = result.data
+    assert funnel.total == 520
+    assert funnel.low_efficiency == 75
+    assert funnel.detected == 16
+    assert funnel.significant == 5
+    print("\n" + result.text)

@@ -1,0 +1,11 @@
+"""Section 4.3 ablation: static vs dynamic deconfliction."""
+
+from repro.harness import deconfliction_ablation
+
+
+def test_deconfliction_ablation(once):
+    result = once(deconfliction_ablation)
+    for name, dyn, stat, barrier_dyn, barrier_stat in result.data:
+        # Static deconfliction executes fewer barrier instructions.
+        assert barrier_stat <= barrier_dyn, name
+    print("\n" + result.text)

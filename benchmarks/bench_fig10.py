@@ -1,0 +1,10 @@
+"""Figure 10: automatic Speculative Reconvergence upside."""
+
+from repro.harness import figure10
+
+
+def test_figure10(once):
+    result = once(figure10)
+    for name, base_eff, auto_eff, annotated_eff, auto_speedup, _ in result.data:
+        assert auto_eff > base_eff, name
+    print("\n" + result.text)

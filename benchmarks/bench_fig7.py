@@ -1,0 +1,14 @@
+"""Figure 7: SIMT efficiency, default vs Speculative Reconvergence."""
+
+from repro.harness import figure7
+from repro.workloads import FIGURE7_WORKLOADS
+
+
+def test_figure7(once):
+    result = once(figure7)
+    rows = {row.workload: row for row in result.data}
+    assert set(rows) == set(FIGURE7_WORKLOADS)
+    for name, row in rows.items():
+        assert row.sr_eff > row.baseline_eff, name
+        assert row.checksum_ok, name
+    print("\n" + result.text)

@@ -1,0 +1,11 @@
+"""Figure 8: SIMT-efficiency improvement vs speedup."""
+
+from repro.harness import figure8
+
+
+def test_figure8(once):
+    result = once(figure8)
+    for row in result.data:
+        assert row.speedup > 1.0, row.workload
+        assert row.speedup <= row.efficiency_gain * 1.10, row.workload
+    print("\n" + result.text)

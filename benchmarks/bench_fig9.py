@@ -1,0 +1,15 @@
+"""Figure 9: soft-barrier threshold sweeps for PathTracer and XSBench."""
+
+from repro.harness import figure9
+
+
+def test_figure9(once):
+    result = once(figure9)
+    _, pt_points = result.data["pathtracer"]
+    _, xs_points = result.data["xsbench"]
+    pt_best = max(pt_points, key=lambda p: p.speedup)
+    xs_best = max(xs_points, key=lambda p: p.speedup)
+    # PathTracer peaks at full reconvergence; XSBench at a low threshold.
+    assert pt_best.threshold >= 24
+    assert xs_best.threshold <= 16
+    print("\n" + result.text)

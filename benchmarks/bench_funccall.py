@@ -1,0 +1,12 @@
+"""Section 5.1 microbenchmark: the common-function-call pattern."""
+
+from repro.harness import funccall_microbenchmark
+from repro.workloads import get_workload
+
+
+def test_funccall_microbenchmark(once):
+    result = once(funccall_microbenchmark)
+    workload = get_workload("funccall")
+    optimized = result.data["sr"]
+    assert workload.shade_efficiency(optimized.launch) > 0.95
+    print("\n" + result.text)

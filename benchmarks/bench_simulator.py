@@ -1,0 +1,34 @@
+"""Raw substrate throughput: simulator issue rate and compile time.
+
+Not a paper figure — tracks the reproduction's own performance so workload
+presets stay affordable.
+"""
+
+from repro.core import ReconvergenceCompiler
+from repro.workloads import get_workload
+
+
+def test_simulator_issue_throughput(benchmark):
+    workload = get_workload("mcb", steps=16)
+    compiled = workload.compile(mode="baseline")
+
+    def launch():
+        return workload.run(mode="baseline", compiled=compiled)
+
+    result = benchmark.pedantic(launch, rounds=3, iterations=1)
+    assert result.issued > 0
+    rate = result.issued / benchmark.stats.stats.mean
+    print(f"\nsimulator throughput: {rate:,.0f} issues/s "
+          f"({result.issued} issues per launch)")
+
+
+def test_compile_throughput(benchmark):
+    workload = get_workload("rsbench")
+    module = workload.module()
+    compiler = ReconvergenceCompiler()
+
+    def compile_sr():
+        return compiler.compile(module, mode="sr", threshold=16)
+
+    prog = benchmark.pedantic(compile_sr, rounds=5, iterations=1)
+    assert prog.report.sr_reports

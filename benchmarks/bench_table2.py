@@ -1,0 +1,22 @@
+"""Table 2: the benchmark inventory (builds + verifies every workload)."""
+
+from repro.harness import table2
+from repro.ir import verify_module
+from repro.workloads import FIGURE7_WORKLOADS, get_workload
+
+
+def test_table2(once):
+    result = once(table2)
+    assert len(result.data) == 9
+    print("\n" + result.text)
+
+
+def test_table2_all_workloads_build(benchmark):
+    def build_all():
+        modules = [get_workload(name).module() for name in FIGURE7_WORKLOADS]
+        for module in modules:
+            verify_module(module)
+        return modules
+
+    modules = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    assert len(modules) == 9

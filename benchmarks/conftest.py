@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper exactly once per
+session (the experiments are deterministic; statistical repetition would
+only re-measure Python overhead) and prints the rows/series the paper
+reports. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a figure generator once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: annotate a divergent kernel and watch SIMT efficiency rise.
+
+This is the Listing 1 / Figure 1 scenario from the paper: a loop whose
+body contains a divergent branch guarding expensive code. We write the
+kernel in the textual kernel language, mark the reconvergence point with
+``predict L1`` + ``label L1:``, compile it twice — baseline PDOM
+synchronization vs Speculative Reconvergence — and run both on the
+simulator.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import GPUMachine, compile_baseline, compile_kernel_source, compile_sr
+
+KERNEL = """
+kernel listing1(n_iters) {
+    let acc = 0.0;
+    let t = tid();
+    predict L1, 12;                   // Section 4.1 directive (soft, k=12)
+    for i in 0..n_iters {
+        // Prolog: advance the per-thread state (cheap).
+        let u = hash01(t * 977.0 + i * 83.0);
+        if (u < 0.12) {
+            // Expensive(): only some threads take this each iteration,
+            // but every thread takes it eventually.
+            label L1: acc = acc + 0.5;
+            acc = fma(acc, 0.999, 0.5); acc = fma(acc, 0.999, 0.5);
+            acc = fma(acc, 0.999, 0.5); acc = fma(acc, 0.999, 0.5);
+            acc = fma(acc, 0.999, 0.5); acc = fma(acc, 0.999, 0.5);
+            acc = fma(acc, 0.999, 0.5); acc = fma(acc, 0.999, 0.5);
+            acc = fma(acc, 0.999, 0.5); acc = fma(acc, 0.999, 0.5);
+            acc = fma(acc, 0.999, 0.5); acc = fma(acc, 0.999, 0.5);
+            acc = fma(acc, 0.999, 0.5); acc = fma(acc, 0.999, 0.5);
+            acc = fma(acc, 0.999, 0.5); acc = fma(acc, 0.999, 0.5);
+            acc = fma(acc, 0.999, 0.5); acc = fma(acc, 0.999, 0.5);
+            acc = fma(acc, 0.999, 0.5); acc = fma(acc, 0.999, 0.5);
+        }
+        // Epilog: bookkeeping (cheap).
+        acc = acc * 0.9999;
+    }
+    store(t, acc);
+}
+"""
+
+
+def main():
+    module = compile_kernel_source(KERNEL)
+
+    baseline_prog = compile_baseline(module)
+    sr_prog = compile_sr(module)
+
+    baseline = GPUMachine(baseline_prog.module).launch("listing1", 32, args=(40,))
+    optimized = GPUMachine(sr_prog.module).launch("listing1", 32, args=(40,))
+
+    assert baseline.memory.snapshot() == optimized.memory.snapshot(), (
+        "convergence barriers must never change results"
+    )
+
+    print("What the SR pass inserted:")
+    print(sr_prog.report.describe())
+    print()
+    print(f"{'':14s}{'SIMT efficiency':>18s}{'cycles':>10s}")
+    print(f"{'baseline':14s}{baseline.simt_efficiency:>17.1%}{baseline.cycles:>10d}")
+    print(f"{'with SR':14s}{optimized.simt_efficiency:>17.1%}{optimized.cycles:>10d}")
+    print(f"\nspeedup: {baseline.cycles / optimized.cycles:.2f}x "
+          f"(results verified identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Automatic soft-barrier threshold discovery.
+
+The paper tunes thresholds by hand and leaves automation to future work
+("We leave the problem of automatically discovering the ideal threshold
+parameter for a particular problem to future work", Section 5.3). This
+example runs the library's offline tuner over three workloads and shows
+that it lands each one on its Figure 9 sweet spot.
+
+Run: ``python examples/threshold_autotune.py``
+"""
+
+from repro.core import tune_workload
+from repro.workloads import get_workload
+
+
+def main():
+    print(f"{'workload':12s} {'user choice':>12s} {'tuned':>6s} "
+          f"{'speedup':>8s} {'evals':>6s}")
+    for name in ("xsbench", "rsbench", "pathtracer"):
+        workload = get_workload(name)
+        result = tune_workload(workload)
+        tuned = "hard" if result.best_threshold is None else result.best_threshold
+        user = "hard" if workload.sr_threshold is None else workload.sr_threshold
+        print(f"{name:12s} {str(user):>12s} {str(tuned):>6s} "
+              f"{result.best_speedup:>7.2f}x {len(result.evaluations):>6d}")
+    print("\nxsbench tunes low (expensive refill -> batch idle threads);")
+    print("pathtracer tunes high (cheap refill -> wait for everyone).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: this environment lacks the `wheel` package (offline), so
+`pip install -e .` cannot build an editable wheel. `python setup.py develop`
+installs the package in editable mode with plain setuptools."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Speculative Reconvergence for Improved SIMT Efficiency — reproduction.
+
+A full-stack Python reproduction of Damani et al., CGO 2020: a compiler IR
+and analyses, a Volta-style SIMT warp simulator with convergence barriers,
+the Speculative Reconvergence pass suite (Section 4), the Table 2 workloads,
+and a harness regenerating every figure of the evaluation.
+
+Quick start::
+
+    from repro import compile_kernel_source, compile_baseline, compile_sr
+    from repro.simt import GPUMachine
+
+    module = compile_kernel_source(SOURCE_WITH_PREDICT_ANNOTATIONS)
+    baseline = GPUMachine(compile_baseline(module).module).launch("k", 32)
+    optimized = GPUMachine(compile_sr(module).module).launch("k", 32)
+    print(baseline.simt_efficiency, "->", optimized.simt_efficiency)
+"""
+
+from repro.core.pipeline import (
+    ReconvergenceCompiler,
+    compile_baseline,
+    compile_sr,
+)
+from repro.errors import ReproError
+from repro.frontend.parser import compile_kernel_source, parse_kernel_source
+from repro.simt.machine import GPUMachine
+from repro.simt.memory import GlobalMemory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUMachine",
+    "GlobalMemory",
+    "ReconvergenceCompiler",
+    "ReproError",
+    "compile_baseline",
+    "compile_kernel_source",
+    "compile_sr",
+    "parse_kernel_source",
+    "__version__",
+]

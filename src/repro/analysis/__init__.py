@@ -1,0 +1,52 @@
+"""Program analyses: CFG orders, dominators, loops, dataflow, divergence."""
+
+from repro.analysis.callgraph import CallGraph, call_graph, reverse_topological
+from repro.analysis.cfg_utils import (
+    CFGView,
+    add_virtual_exit,
+    can_reach,
+    reachable_from,
+    reverse_postorder,
+)
+from repro.analysis.dataflow import DataflowResult, solve_backward, solve_forward
+from repro.analysis.divergence import (
+    DivergenceAnalysis,
+    analyze_module_divergence,
+    influence_region,
+)
+from repro.analysis.dominators import (
+    DominatorTree,
+    PostDominatorTree,
+    compute_dominators,
+    compute_post_dominators,
+    dominator_tree,
+    post_dominator_tree,
+)
+from repro.analysis.loops import Loop, LoopNest, compute_loops, loop_nest
+
+__all__ = [
+    "CFGView",
+    "CallGraph",
+    "DataflowResult",
+    "DivergenceAnalysis",
+    "DominatorTree",
+    "Loop",
+    "LoopNest",
+    "PostDominatorTree",
+    "add_virtual_exit",
+    "analyze_module_divergence",
+    "call_graph",
+    "can_reach",
+    "compute_dominators",
+    "compute_loops",
+    "compute_post_dominators",
+    "dominator_tree",
+    "influence_region",
+    "loop_nest",
+    "post_dominator_tree",
+    "reachable_from",
+    "reverse_postorder",
+    "reverse_topological",
+    "solve_backward",
+    "solve_forward",
+]

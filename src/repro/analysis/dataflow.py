@@ -1,0 +1,92 @@
+"""Generic iterative dataflow solver over block-level GEN/KILL problems.
+
+Used by the paper's two analyses (Section 4.2.1):
+
+* *Joined Barrier Analysis* (Equation 1) — forward, may (union):
+  ``OUT(BB) = (IN(BB) - Kill(BB)) ∪ Gen(BB)``,
+  ``IN(BB) = ∪ OUT(p) for p in preds(BB)``.
+* *Barrier Live Range Analysis* (Equation 2) — backward, may (union):
+  ``IN(BB) = (OUT(BB) - Kill(BB)) ∪ Gen(BB)``,
+  ``OUT(BB) = ∪ IN(s) for s in succs(BB)``.
+
+The solver works on frozensets of arbitrary hashable facts and iterates to a
+fixpoint in reverse postorder (forward) or postorder (backward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg_utils import reverse_postorder
+
+
+@dataclass
+class DataflowResult:
+    """Per-block IN/OUT fact sets (frozensets keyed by block name)."""
+
+    block_in: dict
+    block_out: dict
+
+    def in_of(self, name):
+        return self.block_in[name]
+
+    def out_of(self, name):
+        return self.block_out[name]
+
+
+def solve_forward(view, gen, kill, boundary=frozenset()):
+    """Forward union dataflow. ``gen``/``kill`` map node -> set of facts."""
+    order = reverse_postorder(view)
+    in_sets = {node: frozenset() for node in view.nodes}
+    out_sets = {node: frozenset() for node in view.nodes}
+    in_sets[view.entry] = frozenset(boundary)
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == view.entry:
+                new_in = frozenset(boundary)
+            else:
+                acc = set()
+                for pred in view.preds[node]:
+                    acc |= out_sets[pred]
+                new_in = frozenset(acc)
+            new_out = frozenset(
+                (new_in - frozenset(kill.get(node, ()))) | frozenset(gen.get(node, ()))
+            )
+            if new_in != in_sets[node] or new_out != out_sets[node]:
+                in_sets[node] = new_in
+                out_sets[node] = new_out
+                changed = True
+    return DataflowResult(in_sets, out_sets)
+
+
+def solve_backward(view, gen, kill, boundary=frozenset()):
+    """Backward union dataflow (liveness-style)."""
+    order = list(reversed(reverse_postorder(view)))
+    # Include nodes unreachable in forward order but present in the graph.
+    for node in view.nodes:
+        if node not in order:
+            order.append(node)
+    in_sets = {node: frozenset() for node in view.nodes}
+    out_sets = {node: frozenset() for node in view.nodes}
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            succs = view.succs[node]
+            if succs:
+                acc = set()
+                for succ in succs:
+                    acc |= in_sets[succ]
+                new_out = frozenset(acc)
+            else:
+                new_out = frozenset(boundary)
+            new_in = frozenset(
+                (new_out - frozenset(kill.get(node, ()))) | frozenset(gen.get(node, ()))
+            )
+            if new_in != in_sets[node] or new_out != out_sets[node]:
+                in_sets[node] = new_in
+                out_sets[node] = new_out
+                changed = True
+    return DataflowResult(in_sets, out_sets)

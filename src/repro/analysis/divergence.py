@@ -1,0 +1,188 @@
+"""Thread-divergence analysis.
+
+Determines which registers may hold thread-varying values and which branches
+are therefore *divergent* (Section 2). Sources of divergence:
+
+* thread identity (``tid``, ``lane``) and per-thread randomness (``rand``),
+* atomics (``atomadd`` returns a distinct value per thread),
+* loads through divergent addresses,
+* values computed from divergent operands,
+* *sync dependence*: registers (re)defined under divergent control — inside
+  the influence region between a divergent branch and its immediate
+  post-dominator — merge differently per thread at join points.
+
+The analysis runs to a fixpoint because sync dependence can make more
+branches divergent, which widens influence regions.
+
+This powers the baseline PDOM synchronization pass (which barriers divergent
+branches) and the automatic-detection heuristics of Section 4.5.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg_utils import CFGView
+from repro.analysis.dominators import compute_post_dominators
+from repro.ir.instructions import DIVERGENT_SOURCES, FuncRef, Opcode, Reg
+
+
+def influence_region(view, pdom, branch_block):
+    """Blocks divergently executed due to a branch in ``branch_block``.
+
+    These are the blocks on paths from the branch's successors to (but
+    excluding) the branch's immediate reconvergence point — nodes both
+    reachable from a successor and able to reach the reconvergence point
+    (or a function exit, for paths that leave early).
+    """
+    succs = view.succs[branch_block]
+    if len(succs) < 2:
+        return set()
+    join = pdom.nearest_common_post_dominator(succs)
+    region = set()
+    for succ in succs:
+        if succ == join:
+            continue
+        # Nodes reachable from the successor without passing through the
+        # reconvergence point: DFS that never enters ``join``.
+        seen = {succ}
+        frontier = [succ]
+        while frontier:
+            node = frontier.pop()
+            for nxt in view.succs[node]:
+                if nxt != join and nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        region |= seen
+    region.discard(branch_block)
+    return region
+
+
+class DivergenceAnalysis:
+    """Per-function divergence facts.
+
+    Attributes:
+        divergent_regs: set of :class:`Reg` that may be thread-varying.
+        divergent_branches: set of block names whose terminator is a
+            divergent conditional branch.
+    """
+
+    def __init__(self, function, module=None, callee_summaries=None):
+        self.function = function
+        self.module = module
+        self.callee_summaries = callee_summaries or {}
+        self.view = CFGView.of_function(function)
+        self.pdom = compute_post_dominators(self.view)
+        self.divergent_regs = set()
+        self.divergent_branches = set()
+        # Kernel parameters are uniform launch arguments; device-function
+        # parameters are conservatively thread-varying (call sites may pass
+        # divergent values).
+        if not function.is_kernel:
+            self.divergent_regs.update(function.params)
+        self._solve()
+
+    # ------------------------------------------------------------------
+    def _instruction_result_divergent(self, instr):
+        opcode = instr.opcode
+        if opcode in DIVERGENT_SOURCES:
+            return True
+        if opcode is Opcode.LD:
+            addr = instr.operands[0]
+            return isinstance(addr, Reg) and addr in self.divergent_regs
+        if opcode is Opcode.CALL:
+            callee = instr.operands[0]
+            summary = self.callee_summaries.get(
+                callee.name if isinstance(callee, FuncRef) else None
+            )
+            if summary is None:
+                return True  # unknown callee: conservative
+            if summary.get("returns_divergent", True):
+                return True
+            return any(
+                isinstance(op, Reg) and op in self.divergent_regs
+                for op in instr.operands[1:]
+            )
+        return any(
+            isinstance(op, Reg) and op in self.divergent_regs
+            for op in instr.operands
+        )
+
+    def _solve(self):
+        # Kernel parameters are uniform (launch arguments); device-function
+        # parameters take the assumed divergence passed in via summaries.
+        changed = True
+        while changed:
+            changed = False
+            # 1. Value propagation.
+            for block in self.function.blocks:
+                for instr in block:
+                    if instr.dst is None:
+                        continue
+                    if instr.dst in self.divergent_regs:
+                        continue
+                    if self._instruction_result_divergent(instr):
+                        self.divergent_regs.add(instr.dst)
+                        changed = True
+            # 2. Divergent branches.
+            for block in self.function.blocks:
+                term = block.terminator
+                if term is None or term.opcode is not Opcode.CBR:
+                    continue
+                pred = term.operands[0]
+                if (
+                    isinstance(pred, Reg)
+                    and pred in self.divergent_regs
+                    and block.name not in self.divergent_branches
+                ):
+                    self.divergent_branches.add(block.name)
+                    changed = True
+            # 3. Sync dependence: defs inside divergent influence regions.
+            for branch_block in list(self.divergent_branches):
+                region = influence_region(self.view, self.pdom, branch_block)
+                for name in region:
+                    block = self.function.block(name)
+                    for instr in block:
+                        if (
+                            instr.dst is not None
+                            and instr.dst not in self.divergent_regs
+                        ):
+                            self.divergent_regs.add(instr.dst)
+                            changed = True
+
+    # ------------------------------------------------------------------
+    def is_divergent(self, reg):
+        return reg in self.divergent_regs
+
+    def is_divergent_branch(self, block_name):
+        return block_name in self.divergent_branches
+
+    def summary(self):
+        """Callee summary used by callers' analyses."""
+        returns_divergent = False
+        for block in self.function.blocks:
+            term = block.terminator
+            if term is not None and term.opcode is Opcode.RET and term.operands:
+                value = term.operands[0]
+                if isinstance(value, Reg) and value in self.divergent_regs:
+                    returns_divergent = True
+        return {"returns_divergent": returns_divergent}
+
+
+def analyze_module_divergence(module):
+    """Divergence analyses for all functions, resolving callee summaries.
+
+    Functions are analyzed callees-first (reverse topological over the call
+    graph); recursion falls back to conservative summaries.
+    """
+    from repro.analysis.callgraph import call_graph, reverse_topological
+
+    graph = call_graph(module)
+    summaries = {}
+    analyses = {}
+    for name in reverse_topological(graph):
+        function = module.function(name)
+        analysis = DivergenceAnalysis(
+            function, module=module, callee_summaries=summaries
+        )
+        analyses[name] = analysis
+        summaries[name] = analysis.summary()
+    return analyses

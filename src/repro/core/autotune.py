@@ -1,0 +1,93 @@
+"""Automatic soft-barrier threshold discovery.
+
+The paper leaves this open: "We leave the problem of automatically
+discovering the ideal threshold parameter for a particular problem to
+future work" (Section 5.3). This module implements the obvious offline
+search: measure a coarse grid of thresholds on the simulator, then refine
+around the best coarse point.
+
+The search space is tiny (0..32) and runs are deterministic, so a
+grid-plus-refine scan is exact enough; the interface takes any
+``run(threshold) -> cycles`` callable so it works for workloads, corpus
+apps, or user kernels alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simt.warp import WARP_SIZE
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a threshold search."""
+
+    best_threshold: object          # int, or None for the hard barrier
+    best_cycles: int
+    baseline_cycles: int
+    evaluations: dict = field(default_factory=dict)  # threshold -> cycles
+
+    @property
+    def best_speedup(self):
+        return self.baseline_cycles / self.best_cycles if self.best_cycles else 0.0
+
+    @property
+    def profitable(self):
+        return self.best_cycles < self.baseline_cycles
+
+
+def tune_threshold(
+    run,
+    baseline_cycles,
+    coarse_step=8,
+    include_hard=True,
+    max_threshold=WARP_SIZE,
+):
+    """Search for the fastest soft-barrier threshold.
+
+    Args:
+        run: callable mapping a threshold (int, or None = hard barrier) to
+            measured cycles.
+        baseline_cycles: cycles of the PDOM baseline, for the speedup.
+        coarse_step: grid stride for the first pass.
+        include_hard: also evaluate the hard barrier (threshold None).
+    Returns a :class:`TuneResult`.
+    """
+    evaluations = {}
+
+    def measure(threshold):
+        if threshold not in evaluations:
+            evaluations[threshold] = run(threshold)
+        return evaluations[threshold]
+
+    coarse = list(range(2, max_threshold, coarse_step))
+    if include_hard:
+        coarse.append(None)
+    for threshold in coarse:
+        measure(threshold)
+
+    numeric = {k: v for k, v in evaluations.items() if k is not None}
+    pivot = min(numeric, key=numeric.get)
+    for threshold in range(
+        max(2, pivot - coarse_step + 1), min(max_threshold, pivot + coarse_step)
+    ):
+        measure(threshold)
+
+    best = min(evaluations, key=evaluations.get)
+    return TuneResult(
+        best_threshold=best,
+        best_cycles=evaluations[best],
+        baseline_cycles=baseline_cycles,
+        evaluations=dict(evaluations),
+    )
+
+
+def tune_workload(workload, seed=2020, **tune_options):
+    """Tune a :class:`repro.workloads.Workload`'s threshold end to end."""
+    baseline = workload.run(mode="baseline", seed=seed)
+
+    def run(threshold):
+        return workload.run(mode="sr", threshold=threshold, seed=seed).cycles
+
+    return tune_threshold(run, baseline.cycles, **tune_options)

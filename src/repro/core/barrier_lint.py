@@ -1,0 +1,167 @@
+"""Barrier-discipline lint.
+
+Static checks on compiled synchronization, catching the hazards the paper
+warns about before simulation does:
+
+* **stranding** — a barrier may be joined on some path into a function
+  exit without an intervening wait or cancel. Hardware drains exiting
+  lanes, but a strand on a *loop* path (joined-out of a latch whose header
+  has no wait ahead) indicates a missing ``CancelBarrier``.
+* **orphan wait** — a wait that no path can reach while joined: the
+  barrier will always pass through, so the hint does nothing.
+* **unresolved conflict** — two barriers whose live ranges overlap
+  non-inclusively with no deconfliction cancel before either wait
+  (the Section 4.3 deadlock hazard).
+
+Returns :class:`LintFinding` records rather than raising: the pipeline's
+output should always be clean, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.barrier_liveness import BarrierLiveness
+from repro.core.conflicts import ConflictAnalysis, literal_barriers
+from repro.core.joined_barriers import JoinedBarriers
+from repro.core.primitives import barrier_name_of, is_cancel, is_wait
+from repro.ir.instructions import Opcode
+
+SEVERITY_WARNING = "warning"
+SEVERITY_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    severity: str
+    kind: str        # "stranded" | "orphan-wait" | "unresolved-conflict"
+    barrier: str
+    where: str
+    message: str
+
+    def describe(self):
+        return f"[{self.severity}] {self.kind} {self.barrier} at {self.where}: {self.message}"
+
+
+def _orphan_waits(function, joined):
+    findings = []
+    for block in function.blocks:
+        for index, instr in enumerate(block.instructions):
+            if not is_wait(instr):
+                continue
+            name = barrier_name_of(instr)
+            if name is None:
+                continue
+            if name not in joined.joined_before(block, index):
+                findings.append(
+                    LintFinding(
+                        severity=SEVERITY_WARNING,
+                        kind="orphan-wait",
+                        barrier=name,
+                        where=f"{function.name}/{block.name}:{index}",
+                        message="no path reaches this wait while joined; "
+                        "it always passes through",
+                    )
+                )
+    return findings
+
+
+def _stranded_barriers(function, joined, liveness):
+    """Joined at a latch (back edge) while dead: the thread loops forever
+    carrying membership no wait will ever clear — waiters strand."""
+    findings = []
+    preds = function.predecessors()
+    for block in function.blocks:
+        for name in joined.joined_out(block.name):
+            for succ in block.successor_names():
+                # back edge heuristic: successor appears earlier in layout
+                blocks_order = [b.name for b in function.blocks]
+                if blocks_order.index(succ) <= blocks_order.index(block.name):
+                    if name not in liveness.live_in(succ) and name in joined.joined_in(succ):
+                        findings.append(
+                            LintFinding(
+                                severity=SEVERITY_WARNING,
+                                kind="stranded",
+                                barrier=name,
+                                where=f"{function.name}/{block.name}->{succ}",
+                                message="joined around a loop with no wait "
+                                "or cancel ahead",
+                            )
+                        )
+    return findings
+
+
+def _barrier_origins(function):
+    origins = {}
+    for _, _, instr in function.instructions():
+        if instr.is_barrier_op and instr.opcode is not Opcode.BMOV:
+            name = barrier_name_of(instr)
+            origin = instr.attrs.get("origin")
+            if name is not None and origin:
+                origins.setdefault(name, set()).add(origin)
+    return origins
+
+
+def _unresolved_conflicts(function, analysis):
+    """Conflicting pair with no deconfliction cancel guarding either wait.
+
+    A conflict involving an SR barrier is the Section 4.3 deadlock hazard
+    (error). Conflicts purely among compiler PDOM barriers arise as a side
+    effect of deconfliction breaks punching holes in live ranges; their
+    waits cannot block each other, so they are only warnings.
+    """
+    findings = []
+    origins = _barrier_origins(function)
+    for conflict in analysis.conflicts:
+        guarded = False
+        for block in function.blocks:
+            for index, instr in enumerate(block.instructions):
+                if is_wait(instr) and barrier_name_of(instr) in (
+                    conflict.first,
+                    conflict.second,
+                ):
+                    other = conflict.other(barrier_name_of(instr))
+                    for previous in block.instructions[:index]:
+                        if is_cancel(previous) and barrier_name_of(previous) == other:
+                            guarded = True
+        if not guarded:
+            involves_sr = any(
+                origin.startswith("sr")
+                for name in (conflict.first, conflict.second)
+                for origin in origins.get(name, ())
+            )
+            findings.append(
+                LintFinding(
+                    severity=SEVERITY_ERROR if involves_sr else SEVERITY_WARNING,
+                    kind="unresolved-conflict",
+                    barrier=f"{conflict.first}x{conflict.second}",
+                    where=function.name,
+                    message="conflicting live ranges with no deconfliction "
+                    "cancel; threads may wait on each other (Section 4.3)",
+                )
+            )
+    return findings
+
+
+def lint_function(function):
+    """All findings for one function."""
+    if not literal_barriers(function):
+        return []
+    joined = JoinedBarriers(function)
+    liveness = BarrierLiveness(function)
+    analysis = ConflictAnalysis(function, joined=joined)
+    findings = []
+    findings.extend(_orphan_waits(function, joined))
+    findings.extend(_stranded_barriers(function, joined, liveness))
+    findings.extend(_unresolved_conflicts(function, analysis))
+    return findings
+
+
+def lint_module(module, errors_only=False):
+    """All findings across a module."""
+    findings = []
+    for function in module:
+        findings.extend(lint_function(function))
+    if errors_only:
+        findings = [f for f in findings if f.severity == SEVERITY_ERROR]
+    return findings

@@ -1,0 +1,72 @@
+"""Barrier Live Range Analysis (Section 4.2.1, Equation 2).
+
+Standard backward liveness on barrier registers: a barrier is *live* at P
+if some path from P reaches a ``WaitBarrier`` for it before a
+``JoinBarrier`` re-defines it.
+
+    Gen(BB)  = WaitBarrier        Kill(BB) = JoinBarrier
+    IN(BB)   = (OUT(BB) − Kill(BB)) ∪ Gen(BB)
+    OUT(BB)  = ∪ IN(s), s ∈ succs(BB)
+
+A ``CancelBarrier`` also kills liveness: a thread that withdraws on that
+path will not wait.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg_utils import CFGView
+from repro.analysis.dataflow import solve_backward
+from repro.core.primitives import barrier_name_of, is_cancel, is_join, is_wait
+
+
+def _block_effects(block):
+    """(gen, kill) under backward liveness semantics (scan bottom-up)."""
+    gen, kill = set(), set()
+    for instr in reversed(block.instructions):
+        if is_wait(instr):
+            name = barrier_name_of(instr)
+            if name is not None:
+                gen.add(name)
+                kill.discard(name)
+        elif is_join(instr) or is_cancel(instr):
+            name = barrier_name_of(instr)
+            if name is not None:
+                kill.add(name)
+                gen.discard(name)
+    return gen, kill
+
+
+class BarrierLiveness:
+    """Barrier liveness facts for one function."""
+
+    def __init__(self, function):
+        self.function = function
+        view = CFGView.of_function(function)
+        gen, kill = {}, {}
+        for block in function.blocks:
+            gen[block.name], kill[block.name] = _block_effects(block)
+        self._result = solve_backward(view, gen, kill)
+
+    def live_in(self, block_name):
+        return self._result.in_of(block_name)
+
+    def live_out(self, block_name):
+        return self._result.out_of(block_name)
+
+    def live_before(self, block, index):
+        """Barriers live immediately before instruction ``index``."""
+        live = set(self.live_out(block.name))
+        for instr in reversed(block.instructions[index:]):
+            if is_wait(instr):
+                name = barrier_name_of(instr)
+                if name is not None:
+                    live.add(name)
+            elif is_join(instr) or is_cancel(instr):
+                name = barrier_name_of(instr)
+                if name is not None:
+                    live.discard(name)
+        return frozenset(live)
+
+    def live_after(self, block, index):
+        """Barriers live immediately after instruction ``index``."""
+        return self.live_before(block, index + 1)

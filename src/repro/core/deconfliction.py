@@ -1,0 +1,127 @@
+"""Deconfliction strategies (Section 4.3, Figure 5).
+
+When a Speculative Reconvergence barrier conflicts with a compiler-inserted
+PDOM barrier, threads may end up waiting for each other at two different
+points — in this simulator that is an actual cross-barrier deadlock (see
+``tests/test_deconfliction.py``). Two remedies:
+
+* **static** — delete every operation of the conflicting PDOM barrier
+  (Figure 5b). Cheapest at runtime, but if the predicted convergence point
+  is rarely entered, the program loses its original reconvergence.
+* **dynamic** — keep everything; threads about to wait on the SR barrier
+  first withdraw from the conflicting barrier (Figure 5c), removing the
+  conflict only on executions that actually reach the convergence point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.conflicts import ConflictAnalysis
+from repro.core.primitives import barrier_name_of, cancel_barrier, is_wait
+from repro.errors import DeconflictionError
+from repro.ir.instructions import BARRIER_OPS
+
+ORIGIN = "deconflict"
+
+STATIC = "static"
+DYNAMIC = "dynamic"
+
+
+@dataclass
+class DeconflictionReport:
+    strategy: str = DYNAMIC
+    conflicts: list = field(default_factory=list)       # Conflict records
+    removed_barriers: list = field(default_factory=list)
+    cancels_inserted: list = field(default_factory=list)  # (block, barrier)
+
+    def describe(self):
+        if not self.conflicts:
+            return "no conflicts"
+        lines = [f"strategy={self.strategy}"]
+        lines += [c.describe() for c in self.conflicts]
+        return "; ".join(lines)
+
+
+def _barrier_origin(function, barrier):
+    """Origin attr of the ops defining ``barrier`` ('sr', 'pdom', ...)."""
+    for _, _, instr in function.instructions():
+        if instr.opcode in BARRIER_OPS and barrier_name_of(instr) == barrier:
+            origin = instr.attrs.get("origin")
+            if origin:
+                return origin
+    return "unknown"
+
+
+def remove_barrier_ops(function, barrier):
+    """Delete every op referencing ``barrier`` (static deconfliction)."""
+    removed = 0
+    for block in function.blocks:
+        kept = []
+        for instr in block.instructions:
+            if (
+                instr.opcode in BARRIER_OPS
+                and barrier_name_of(instr) == barrier
+            ):
+                removed += 1
+                continue
+            kept.append(instr)
+        block.instructions = kept
+    return removed
+
+
+def _insert_cancels_before_waits(function, sr_barrier, victim, report):
+    """Dynamic deconfliction: withdraw from ``victim`` before each wait on
+    ``sr_barrier`` (Figure 5c)."""
+    for block in function.blocks:
+        index = 0
+        while index < len(block.instructions):
+            instr = block.instructions[index]
+            if is_wait(instr) and barrier_name_of(instr) == sr_barrier:
+                previous = block.instructions[index - 1] if index else None
+                already = (
+                    previous is not None
+                    and previous.opcode.value == "bbreak"
+                    and barrier_name_of(previous) == victim
+                )
+                if not already:
+                    block.insert(index, cancel_barrier(victim, ORIGIN))
+                    report.cancels_inserted.append((block.name, victim))
+                    index += 1
+            index += 1
+
+
+def deconflict(function, sr_barriers, strategy=DYNAMIC):
+    """Resolve conflicts between SR barriers and any other barriers.
+
+    Args:
+        sr_barriers: barrier names inserted by the SR pass (they have
+            priority: "user-specified convergence hints should receive
+            priority over any standard GPU convergence synchronization").
+        strategy: ``"static"`` or ``"dynamic"``.
+    Returns a :class:`DeconflictionReport`.
+    """
+    if strategy not in (STATIC, DYNAMIC):
+        raise DeconflictionError(f"unknown deconfliction strategy {strategy!r}")
+    report = DeconflictionReport(strategy=strategy)
+    analysis = ConflictAnalysis(function)
+    relevant = [
+        c for c in analysis.conflicts if any(c.involves(b) for b in sr_barriers)
+    ]
+    report.conflicts = relevant
+    for conflict in relevant:
+        sr_side = conflict.first if conflict.first in sr_barriers else conflict.second
+        victim = conflict.other(sr_side)
+        if victim in sr_barriers:
+            # Two user predictions conflict with each other: dynamic
+            # deconfliction still applies (Section 6, "multiple concurrent
+            # predictions ... can be supported using deconfliction").
+            _insert_cancels_before_waits(function, sr_side, victim, report)
+            continue
+        if strategy == STATIC:
+            removed = remove_barrier_ops(function, victim)
+            if removed:
+                report.removed_barriers.append(victim)
+        else:
+            _insert_cancels_before_waits(function, sr_side, victim, report)
+    return report

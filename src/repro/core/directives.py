@@ -1,0 +1,113 @@
+"""User-facing reconvergence directives (Section 4.1).
+
+A prediction supplies two facts the compiler needs:
+
+1. the *predicted reconvergence location* — a labeled block
+   (``Predict(L1)`` + an ``L1:`` label) or a function entry
+   (``Predict(@foo)``, Section 4.4);
+2. the *prediction region* — starting at the directive's program point and
+   ending "where all threads are no longer able to reach the label".
+
+In IR form, the directive is a ``predict`` pseudo-instruction carrying
+either a ``label`` attribute or a function-reference operand; the target
+block carries a matching ``label`` attribute. This module collects
+directives into :class:`Prediction` records and strips the markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TransformError
+from repro.ir.instructions import FuncRef, Opcode
+
+
+@dataclass
+class Prediction:
+    """One reconvergence prediction found in a function."""
+
+    function: str          # function containing the directive
+    region_block: str      # block holding the Predict directive
+    region_index: int      # instruction index of the directive
+    label: str = None      # label name for intra-procedural predictions
+    target_block: str = None   # resolved labeled block
+    callee: str = None     # function name for interprocedural predictions
+    threshold: int = None  # soft-barrier threshold (None = hard barrier)
+    directive: object = None   # the predict Instruction itself
+
+    @property
+    def is_interprocedural(self):
+        return self.callee is not None
+
+    def describe(self):
+        target = f"@{self.callee}" if self.callee else f"{self.label} (^{self.target_block})"
+        kind = "soft" if self.threshold is not None else "hard"
+        return (
+            f"Predict {target} from ^{self.region_block} "
+            f"[{kind}{'' if self.threshold is None else f', k={self.threshold}'}]"
+        )
+
+
+def find_label_block(function, label):
+    """The unique block carrying ``label``; raises if missing/ambiguous."""
+    blocks = function.blocks_with_label(label)
+    if not blocks:
+        raise TransformError(
+            f"@{function.name}: Predict({label}) has no matching label"
+        )
+    if len(blocks) > 1:
+        names = ", ".join(b.name for b in blocks)
+        raise TransformError(
+            f"@{function.name}: label {label} is ambiguous (blocks {names})"
+        )
+    return blocks[0]
+
+
+def collect_predictions(function, default_threshold=None):
+    """All predictions declared in ``function`` (in program order)."""
+    predictions = []
+    for block, index, instr in function.instructions():
+        if instr.opcode is not Opcode.PREDICT:
+            continue
+        threshold = instr.attrs.get("threshold", default_threshold)
+        if instr.operands and isinstance(instr.operands[0], FuncRef):
+            predictions.append(
+                Prediction(
+                    function=function.name,
+                    region_block=block.name,
+                    region_index=index,
+                    callee=instr.operands[0].name,
+                    threshold=threshold,
+                    directive=instr,
+                )
+            )
+            continue
+        label = instr.attrs.get("label")
+        if not label:
+            raise TransformError(
+                f"@{function.name}/{block.name}: predict directive without "
+                "a label or callee"
+            )
+        target = find_label_block(function, label)
+        predictions.append(
+            Prediction(
+                function=function.name,
+                region_block=block.name,
+                region_index=index,
+                label=label,
+                target_block=target.name,
+                threshold=threshold,
+                directive=instr,
+            )
+        )
+    return predictions
+
+
+def strip_directives(function):
+    """Remove ``predict`` pseudo-instructions; returns how many."""
+    removed = 0
+    for block in function.blocks:
+        kept = [i for i in block.instructions if i.opcode is not Opcode.PREDICT]
+        removed += len(block.instructions) - len(kept)
+        block.instructions = kept
+    return removed

@@ -1,0 +1,161 @@
+"""The synchronization-insertion algorithm of Section 4.2.
+
+For each prediction (region start R, reconvergence point L):
+
+1. ``JoinBarrier(b)`` replaces the ``Predict`` directive at R, and
+   ``WaitBarrier(b)`` is placed at the top of L (Figure 4a). A soft
+   prediction uses the threshold wait (Section 4.6).
+2. Joined Barrier Analysis (Eq. 1) and Barrier Live Range Analysis (Eq. 2)
+   run on the updated function (Figures 4b, 4c).
+3. ``RejoinBarrier(b)`` is inserted where the barrier was cleared by the
+   wait but is still live — threads looping back expect to wait again.
+4. ``CancelBarrier(b)`` is inserted at region escapes: edges ``u -> v``
+   where the barrier may be joined at the end of ``u`` but is dead at the
+   entry of ``v`` (threads leaving must not strand the waiters).
+5. An orthogonal *region-exit* barrier joins with ``b`` at R and waits at
+   the region's post-dominator so the code after the region executes
+   convergently (Figure 4d, BB5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.barrier_liveness import BarrierLiveness
+from repro.core.joined_barriers import JoinedBarriers
+from repro.core.primitives import (
+    BarrierNamer,
+    cancel_barrier,
+    is_cancel,
+    join_barrier,
+    rejoin_barrier,
+    wait_barrier,
+    wait_barrier_soft,
+)
+from repro.core.regions import compute_region
+from repro.errors import TransformError
+
+ORIGIN = "sr"
+
+
+@dataclass
+class InsertionReport:
+    """Where the pass placed each primitive for one prediction."""
+
+    barrier: str = None
+    exit_barrier: str = None
+    region_blocks: set = field(default_factory=set)
+    wait_block: str = None
+    rejoin_inserted: bool = False
+    cancel_blocks: list = field(default_factory=list)
+    exit_wait_block: str = None
+
+    def describe(self):
+        parts = [
+            f"barrier={self.barrier}",
+            f"wait=^{self.wait_block}",
+            f"rejoin={'yes' if self.rejoin_inserted else 'no'}",
+            f"cancels={[f'^{b}' for b in self.cancel_blocks]}",
+        ]
+        if self.exit_wait_block:
+            parts.append(f"exit={self.exit_barrier}@^{self.exit_wait_block}")
+        return ", ".join(parts)
+
+
+def _locate_directive(function, prediction):
+    """(block, index) of the prediction's ``predict`` instruction."""
+    block = function.block(prediction.region_block)
+    for index, instr in enumerate(block.instructions):
+        if instr is prediction.directive:
+            return block, index
+    # The directive object may differ after cloning; fall back to position.
+    if prediction.region_index < len(block.instructions):
+        return block, prediction.region_index
+    raise TransformError(
+        f"@{function.name}: cannot locate Predict directive in "
+        f"^{prediction.region_block}"
+    )
+
+
+def insert_speculative_reconvergence(function, prediction, namer=None):
+    """Apply the Section 4.2 algorithm for one prediction (in place)."""
+    if prediction.is_interprocedural:
+        raise TransformError(
+            "interprocedural predictions are handled by "
+            "repro.core.interprocedural"
+        )
+    namer = namer or BarrierNamer()
+    report = InsertionReport()
+    region = compute_region(
+        function, prediction.region_block, prediction.target_block
+    )
+    report.region_blocks = set(region.blocks)
+
+    barrier = namer.fresh()
+    exit_barrier = namer.fresh()
+    report.barrier = barrier
+    report.exit_barrier = exit_barrier
+
+    # Step 1: join at the directive, wait at the label.
+    directive_block, directive_index = _locate_directive(function, prediction)
+    directive_block.instructions[directive_index : directive_index + 1] = [
+        join_barrier(exit_barrier, ORIGIN),
+        join_barrier(barrier, ORIGIN),
+    ]
+    target = function.block(prediction.target_block)
+    if prediction.threshold is not None:
+        wait = wait_barrier_soft(barrier, prediction.threshold, ORIGIN)
+    else:
+        wait = wait_barrier(barrier, ORIGIN)
+    target.prepend(wait)
+    report.wait_block = target.name
+
+    # Step 2: dataflow analyses on the updated function.
+    joined = JoinedBarriers(function)
+    liveness = BarrierLiveness(function)
+
+    # Step 3: rejoin where the wait cleared a still-live barrier.
+    wait_index = target.index_of(wait)
+    if barrier in liveness.live_after(target, wait_index):
+        target.insert(wait_index + 1, rejoin_barrier(barrier, ORIGIN))
+        report.rejoin_inserted = True
+
+    # Step 4: cancels at escapes (joined may hold, no wait ahead).
+    cancel_targets = []
+    for src, dst in function.edges():
+        if barrier in joined.joined_out(src) and barrier not in liveness.live_in(
+            dst
+        ):
+            if dst not in cancel_targets:
+                cancel_targets.append(dst)
+    for name in cancel_targets:
+        function.block(name).prepend(cancel_barrier(barrier, ORIGIN))
+        report.cancel_blocks.append(name)
+
+    # Step 5: region-exit convergence barrier.
+    if region.post_dominator is not None:
+        exit_block = function.block(region.post_dominator)
+        # The exit wait goes after any cancels at the top of that block so a
+        # leaving thread withdraws from the label barrier before parking.
+        insert_at = 0
+        while insert_at < len(exit_block.instructions) and is_cancel(
+            exit_block.instructions[insert_at]
+        ):
+            insert_at += 1
+        exit_block.insert(insert_at, wait_barrier(exit_barrier, ORIGIN))
+        report.exit_wait_block = exit_block.name
+    else:
+        # Region flows straight to the function exit; hardware reconverges
+        # exiting lanes implicitly, so drop the unused exit join.
+        directive_block.instructions = [
+            i
+            for i in directive_block.instructions
+            if not (
+                i.opcode.value == "bssy"
+                and i.operands
+                and getattr(i.operands[0], "name", None) == exit_barrier
+            )
+        ]
+        report.exit_barrier = None
+
+    return report

@@ -1,0 +1,191 @@
+"""Interprocedural Speculative Reconvergence (Section 4.4).
+
+Handles ``Predict(@foo)``: a function body eventually executed by every
+thread in the warp, but reached from different call sites (Figure 2c). The
+reconvergence point is the callee's entry; the barrier is joined in the
+caller, waited on inside the callee, and canceled when a thread can no
+longer reach any call site.
+
+"Speculatively reconverging within the divergent function call rather than
+at the post-dominator block of the divergent condition does not adversely
+affect performance because there are no prolog/epilog sections" — the only
+cost is the extra barrier instructions.
+
+Functions called from multiple independent regions should first be hidden
+behind a wrapper (:func:`make_wrapper`), which then acts as the
+reconvergence point, exactly as the paper prescribes for extern functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import call_graph
+from repro.analysis.cfg_utils import CFGView, can_reach, reachable_from
+from repro.analysis.dominators import compute_post_dominators
+from repro.core.primitives import (
+    BarrierNamer,
+    cancel_barrier,
+    join_barrier,
+    rejoin_barrier,
+    wait_barrier,
+    wait_barrier_soft,
+)
+from repro.errors import TransformError
+from repro.ir.instructions import BlockRef, FuncRef, Instruction, Opcode
+
+ORIGIN = "sr-interproc"
+
+
+@dataclass
+class InterproceduralReport:
+    barrier: str = None
+    exit_barrier: str = None
+    callee: str = None
+    region_blocks: set = field(default_factory=set)
+    cancel_blocks: list = field(default_factory=list)
+    exit_wait_block: str = None
+
+
+def _call_blocks(function, callee):
+    """Caller blocks containing a direct call to ``callee``."""
+    blocks = []
+    for block in function.blocks:
+        for instr in block:
+            if instr.opcode is Opcode.CALL and instr.operands:
+                target = instr.operands[0]
+                if isinstance(target, FuncRef) and target.name == callee:
+                    blocks.append(block.name)
+                    break
+    return blocks
+
+
+def insert_interprocedural_sr(module, function, prediction, namer=None):
+    """Apply Section 4.4 for one ``Predict(@callee)`` (in place)."""
+    namer = namer or BarrierNamer()
+    callee_name = prediction.callee
+    callee = module.function(callee_name)
+    call_sites = _call_blocks(function, callee_name)
+    if not call_sites:
+        raise TransformError(
+            f"@{function.name}: Predict(@{callee_name}) but no call sites"
+        )
+
+    report = InterproceduralReport(callee=callee_name)
+    barrier = namer.fresh()
+    exit_barrier = namer.fresh()
+    report.barrier = barrier
+    report.exit_barrier = exit_barrier
+
+    view = CFGView.of_function(function)
+    region = reachable_from(view, prediction.region_block) & can_reach(
+        view, call_sites
+    )
+    region |= {prediction.region_block}
+    report.region_blocks = set(region)
+
+    # Join in the caller at the directive site.
+    directive_block = function.block(prediction.region_block)
+    index = None
+    for i, instr in enumerate(directive_block.instructions):
+        if instr is prediction.directive:
+            index = i
+            break
+    if index is None:
+        index = min(prediction.region_index, len(directive_block.instructions) - 1)
+    directive_block.instructions[index : index + 1] = [
+        join_barrier(exit_barrier, ORIGIN),
+        join_barrier(barrier, ORIGIN),
+    ]
+
+    # Wait (and rejoin, for repeated calls) at the callee entry.
+    entry = callee.entry
+    if prediction.threshold is not None:
+        wait = wait_barrier_soft(barrier, prediction.threshold, ORIGIN)
+    else:
+        wait = wait_barrier(barrier, ORIGIN)
+    entry.prepend(wait)
+    entry.insert(1, rejoin_barrier(barrier, ORIGIN))
+
+    # Cancels on edges leaving the can-still-call region.
+    cancel_targets = []
+    for src in sorted(region):
+        for dst in view.succs[src]:
+            if dst not in region and dst not in cancel_targets:
+                cancel_targets.append(dst)
+    for name in cancel_targets:
+        function.block(name).prepend(cancel_barrier(barrier, ORIGIN))
+        report.cancel_blocks.append(name)
+
+    # Region-exit convergence barrier in the caller.
+    pdom = compute_post_dominators(view)
+    post = pdom.nearest_common_post_dominator(sorted(region))
+    while post is not None and post in region:
+        post = pdom.ipdom(post)
+    if post is not None:
+        exit_block = function.block(post)
+        insert_at = 0
+        while insert_at < len(exit_block.instructions) and (
+            exit_block.instructions[insert_at].opcode is Opcode.BBREAK
+        ):
+            insert_at += 1
+        exit_block.insert(insert_at, wait_barrier(exit_barrier, ORIGIN))
+        report.exit_wait_block = post
+    else:
+        directive_block.instructions = [
+            i
+            for i in directive_block.instructions
+            if not (
+                i.opcode is Opcode.BSSY
+                and i.operands
+                and getattr(i.operands[0], "name", None) == exit_barrier
+            )
+        ]
+        report.exit_barrier = None
+
+    return report
+
+
+def make_wrapper(module, callee_name, wrapper_name=None, redirect_in=None):
+    """Wrap ``callee`` so the wrapper entry is a single reconvergence point.
+
+    "The programmer or the compiler must move calls to extern functions
+    into a wrapper function body which acts as the required reconvergence
+    point. The wrapper function may also be used for functions that are
+    called from within multiple independent regions of the program."
+
+    Args:
+        redirect_in: function names whose call sites should be redirected
+            to the wrapper (default: every caller).
+    Returns the wrapper :class:`~repro.ir.Function`.
+    """
+    from repro.ir.function import Function
+
+    callee = module.function(callee_name)
+    wrapper_name = wrapper_name or f"{callee_name}.wrap"
+    if wrapper_name in module.functions:
+        raise TransformError(f"wrapper @{wrapper_name} already exists")
+    params = [callee.new_reg(f"w{i}") for i in range(len(callee.params))]
+    wrapper = Function(wrapper_name, params=params, is_kernel=False)
+    entry = wrapper.new_block("entry")
+    result = wrapper.new_reg("r")
+    entry.append(
+        Instruction(
+            Opcode.CALL,
+            dst=result,
+            operands=[FuncRef(callee_name)] + list(params),
+        )
+    )
+    entry.append(Instruction(Opcode.RET, operands=[result]))
+    module.add(wrapper)
+
+    graph = call_graph(module)
+    for caller_name, block_name, index in graph.all_sites_of(callee_name):
+        if caller_name == wrapper_name:
+            continue
+        if redirect_in is not None and caller_name not in redirect_in:
+            continue
+        caller = module.function(caller_name)
+        instr = caller.block(block_name).instructions[index]
+        instr.operands[0] = FuncRef(wrapper_name)
+    return wrapper

@@ -1,0 +1,183 @@
+"""The compiler pipeline tying Section 4 together.
+
+:class:`ReconvergenceCompiler` clones the input module and compiles it in
+one of several modes:
+
+* ``baseline`` — PDOM synchronization only; predictions are ignored
+  (what the production compiler does today, Figure 1a).
+* ``sr`` — PDOM sync + user-guided Speculative Reconvergence with
+  deconfliction (the paper's main configuration, dynamic deconfliction).
+* ``auto`` — PDOM sync + heuristically detected predictions (Section 4.5).
+* ``none`` — no synchronization at all; convergence comes only from the
+  scheduler (a stress baseline used in tests).
+
+Soft barriers are configured through prediction thresholds
+(``Predict`` attrs or the ``threshold`` compile argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.divergence import analyze_module_divergence
+from repro.core.allocation import allocate_module
+from repro.core.deconfliction import DYNAMIC, deconflict
+from repro.core.directives import collect_predictions, strip_directives
+from repro.core.insertion import insert_speculative_reconvergence
+from repro.core.interprocedural import insert_interprocedural_sr
+from repro.core.pdom_sync import insert_pdom_sync
+from repro.core.primitives import BarrierNamer
+from repro.core.softbarrier import set_prediction_threshold
+from repro.errors import TransformError
+from repro.ir.verifier import verify_module
+
+MODES = ("baseline", "sr", "auto", "none")
+
+
+@dataclass
+class CompileReport:
+    """Everything the pipeline did, for inspection and tests."""
+
+    mode: str
+    predictions: list = field(default_factory=list)       # Prediction records
+    pdom_reports: dict = field(default_factory=dict)      # fn -> PdomSyncReport
+    sr_reports: list = field(default_factory=list)        # InsertionReports
+    deconfliction_reports: list = field(default_factory=list)
+    allocation: dict = field(default_factory=dict)        # fn -> {abstract: phys}
+    auto_candidates: list = field(default_factory=list)
+    opt_report: object = None                             # OptReport if optimize=True
+
+    def describe(self):
+        lines = [f"mode={self.mode}"]
+        for prediction in self.predictions:
+            lines.append("  " + prediction.describe())
+        for report in self.sr_reports:
+            lines.append("  " + report.describe())
+        for report in self.deconfliction_reports:
+            lines.append("  deconflict: " + report.describe())
+        return "\n".join(lines)
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled module plus its report; ready for the simulator."""
+
+    module: object
+    report: CompileReport
+
+
+class ReconvergenceCompiler:
+    """Compiles modules with configurable reconvergence strategies."""
+
+    def __init__(
+        self,
+        deconfliction=DYNAMIC,
+        assume_all_divergent=False,
+        allocate=True,
+        verify=True,
+        optimize=False,
+    ):
+        self.deconfliction = deconfliction
+        self.assume_all_divergent = assume_all_divergent
+        self.allocate = allocate
+        self.verify = verify
+        # Run the classic optimization pipeline (constfold/DCE/simplify-cfg)
+        # before synchronization insertion; labels and predict directives
+        # are anchors those passes preserve.
+        self.optimize = optimize
+
+    # ------------------------------------------------------------------
+    def compile(self, module, mode="sr", threshold=None, auto_options=None):
+        """Compile a clone of ``module``; the input is never mutated."""
+        if mode not in MODES:
+            raise TransformError(f"unknown compile mode {mode!r}; use {MODES}")
+        clone = module.clone()
+        report = CompileReport(mode=mode)
+        namer = BarrierNamer()
+
+        if self.optimize:
+            from repro.opt import optimize_module
+
+            report.opt_report = optimize_module(clone)
+
+        if mode == "none":
+            for function in clone:
+                strip_directives(function)
+            return self._finish(clone, report)
+
+        if mode == "auto":
+            from repro.core.autodetect import detect_and_annotate
+
+            for function in clone:
+                strip_directives(function)
+            report.auto_candidates = detect_and_annotate(
+                clone, **(auto_options or {})
+            )
+
+        divergence = analyze_module_divergence(clone)
+
+        # Gather predictions before PDOM insertion shifts indices.
+        predictions_by_fn = {}
+        if mode in ("sr", "auto"):
+            for function in clone:
+                if threshold is not None:
+                    set_prediction_threshold(function, threshold)
+                predictions = collect_predictions(function)
+                if predictions:
+                    predictions_by_fn[function.name] = predictions
+                    report.predictions.extend(predictions)
+
+        # Baseline PDOM synchronization everywhere.
+        for function in clone:
+            report.pdom_reports[function.name] = insert_pdom_sync(
+                function,
+                namer=namer,
+                divergence=divergence.get(function.name),
+                assume_all_divergent=self.assume_all_divergent,
+            )
+
+        # Speculative Reconvergence per prediction, then deconflict.
+        for function in clone:
+            predictions = predictions_by_fn.get(function.name, ())
+            sr_barriers = []
+            for prediction in predictions:
+                if prediction.is_interprocedural:
+                    sub = insert_interprocedural_sr(
+                        clone, function, prediction, namer=namer
+                    )
+                else:
+                    sub = insert_speculative_reconvergence(
+                        function, prediction, namer=namer
+                    )
+                report.sr_reports.append(sub)
+                sr_barriers.append(sub.barrier)
+                if sub.exit_barrier:
+                    sr_barriers.append(sub.exit_barrier)
+            if sr_barriers:
+                report.deconfliction_reports.append(
+                    deconflict(function, sr_barriers, strategy=self.deconfliction)
+                )
+
+        for function in clone:
+            strip_directives(function)
+
+        return self._finish(clone, report)
+
+    # ------------------------------------------------------------------
+    def _finish(self, clone, report):
+        if self.allocate:
+            report.allocation = allocate_module(clone)
+        if self.verify:
+            verify_module(clone)
+        return CompiledProgram(module=clone, report=report)
+
+
+def compile_baseline(module, **kwargs):
+    """Convenience: PDOM-only compile."""
+    return ReconvergenceCompiler(**kwargs).compile(module, mode="baseline")
+
+
+def compile_sr(module, threshold=None, deconfliction=DYNAMIC, **kwargs):
+    """Convenience: user-guided Speculative Reconvergence compile."""
+    compiler = ReconvergenceCompiler(deconfliction=deconfliction, **kwargs)
+    return compiler.compile(module, mode="sr", threshold=threshold)

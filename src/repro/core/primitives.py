@@ -1,0 +1,99 @@
+"""The four synchronization primitives of Table 1, as IR emission helpers.
+
+=================  ==========  ======================================
+Paper primitive    Volta insn  Here
+=================  ==========  ======================================
+JoinBarrier        BSSY        ``bssy`` with ``role="join"``
+WaitBarrier        BSYNC       ``bsync`` (or ``bsync.soft``) ``role="wait"``
+CancelBarrier      BREAK       ``bbreak`` with ``role="cancel"``
+RejoinBarrier      BSSY        ``bssy`` with ``role="rejoin"``
+=================  ==========  ======================================
+
+The ``role`` attribute is provenance only; the simulator executes the
+underlying opcode. A :class:`BarrierNamer` hands out unique abstract barrier
+names which the allocation pass later maps onto the 16 physical Volta
+barrier registers.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Barrier, Imm, Instruction, Opcode
+
+ROLE_JOIN = "join"
+ROLE_WAIT = "wait"
+ROLE_REJOIN = "rejoin"
+ROLE_CANCEL = "cancel"
+
+
+def join_barrier(barrier, origin):
+    """JoinBarrier<barrier> — threads expect to wait at a later point."""
+    return Instruction(
+        Opcode.BSSY, operands=[Barrier(barrier)], attrs={"role": ROLE_JOIN, "origin": origin}
+    )
+
+
+def wait_barrier(barrier, origin):
+    """WaitBarrier<barrier> — park until all participants arrive."""
+    return Instruction(
+        Opcode.BSYNC, operands=[Barrier(barrier)], attrs={"role": ROLE_WAIT, "origin": origin}
+    )
+
+
+def wait_barrier_soft(barrier, threshold, origin):
+    """Soft WaitBarrier — proceed once ``threshold`` threads collected (§4.6)."""
+    return Instruction(
+        Opcode.BSYNCSOFT,
+        operands=[Barrier(barrier), Imm(int(threshold))],
+        attrs={"role": ROLE_WAIT, "origin": origin},
+    )
+
+
+def rejoin_barrier(barrier, origin):
+    """RejoinBarrier<barrier> — re-enter a barrier cleared by a wait."""
+    return Instruction(
+        Opcode.BSSY,
+        operands=[Barrier(barrier)],
+        attrs={"role": ROLE_REJOIN, "origin": origin},
+    )
+
+
+def cancel_barrier(barrier, origin):
+    """CancelBarrier<barrier> — withdraw so others do not wait forever."""
+    return Instruction(
+        Opcode.BBREAK,
+        operands=[Barrier(barrier)],
+        attrs={"role": ROLE_CANCEL, "origin": origin},
+    )
+
+
+class BarrierNamer:
+    """Allocates unique abstract barrier names within one compilation."""
+
+    def __init__(self, prefix="b"):
+        self.prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint=None):
+        name = f"{self.prefix}{self._counter}"
+        if hint:
+            name = f"{hint}.{self._counter}"
+        self._counter += 1
+        return name
+
+
+def barrier_name_of(instr):
+    """Literal barrier name of a barrier op, or None for register-indirect."""
+    operand = instr.barrier_operand()
+    return operand.name if isinstance(operand, Barrier) else None
+
+
+def is_join(instr):
+    return instr.opcode is Opcode.BSSY
+
+
+def is_wait(instr):
+    return instr.opcode in (Opcode.BSYNC, Opcode.BSYNCSOFT)
+
+
+def is_cancel(instr):
+    return instr.opcode is Opcode.BBREAK

@@ -1,0 +1,72 @@
+"""Prediction regions (Section 4.1).
+
+"Threads that enter the region will attempt to honor the predicted
+reconvergence point, and threads that leave the region are no longer
+considered candidates for reconvergence. The region ends where all threads
+are no longer able to reach the label."
+
+Concretely the region is the set of blocks that are (a) reachable from the
+directive and (b) can still reach the labeled block. Exit edges lead from a
+region block to a block outside it; the region's reconvergence-at-exit
+point is the nearest common post-dominator of the whole region (the paper's
+BB5, where the orthogonal exit barrier waits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg_utils import CFGView, can_reach, reachable_from
+from repro.analysis.dominators import compute_post_dominators
+from repro.errors import TransformError
+
+
+@dataclass
+class PredictionRegion:
+    """Resolved region geometry for one prediction."""
+
+    start_block: str
+    target_block: str
+    blocks: set = field(default_factory=set)
+    exit_edges: list = field(default_factory=list)   # (src, dst) pairs
+    post_dominator: str = None    # None when the region reaches the exit
+
+    def contains(self, block_name):
+        return block_name in self.blocks
+
+
+def compute_region(function, start_block, target_block):
+    """Geometry of the prediction region rooted at ``start_block``."""
+    view = CFGView.of_function(function)
+    forward = reachable_from(view, start_block)
+    if target_block not in forward:
+        raise TransformError(
+            f"@{function.name}: label block ^{target_block} is unreachable "
+            f"from the Predict directive in ^{start_block}"
+        )
+    backward = can_reach(view, [target_block])
+    blocks = (forward & backward) | {start_block, target_block}
+
+    exit_edges = []
+    for name in sorted(blocks):
+        for succ in view.succs[name]:
+            if succ not in blocks:
+                exit_edges.append((name, succ))
+
+    pdom = compute_post_dominators(view)
+    post_dominator = pdom.nearest_common_post_dominator(sorted(blocks))
+    if post_dominator in blocks:
+        # The common post-dominator must lie outside the region (threads can
+        # no longer reach the label there); fall back to walking up.
+        node = post_dominator
+        while node is not None and node in blocks:
+            node = pdom.ipdom(node)
+        post_dominator = node
+
+    return PredictionRegion(
+        start_block=start_block,
+        target_block=target_block,
+        blocks=blocks,
+        exit_edges=exit_edges,
+        post_dominator=post_dominator,
+    )

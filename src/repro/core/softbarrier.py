@@ -1,0 +1,103 @@
+"""Soft barriers (Section 4.6).
+
+A soft barrier guarantees "some minimum degree of convergence at the
+specified location, while ensuring that newly serialized code regions have
+their executions amortized across more threads": the wait at the predicted
+reconvergence point releases its collected pool once ``threshold`` threads
+have arrived, instead of waiting for every possible participant.
+
+Mechanically this library lowers a soft prediction to ``bsync.soft b, k``
+at the reconvergence point (the barrier subsystem releases the parked pool
+at ``k``, or when the whole membership is parked — the paper's
+"threshold is not satisfiable" escape in Figure 6). The barrier-register
+indirection of Figure 6 (``bTemp = bCount`` via ``bmov``/``barcnt``) is
+supported by the ISA and demonstrated in :func:`expand_fig6_style`, which
+builds the counting variant explicitly for one wait.
+"""
+
+from __future__ import annotations
+
+from repro.core.primitives import barrier_name_of, is_wait
+from repro.errors import TransformError
+from repro.ir.instructions import Barrier, Imm, Instruction, Opcode
+
+
+def set_prediction_threshold(function, threshold, label=None):
+    """Mark ``Predict`` directives in ``function`` with a soft threshold.
+
+    Args:
+        threshold: minimum collected threads before the pool proceeds.
+            ``None`` restores a hard barrier.
+        label: restrict to the directive predicting this label (default:
+            every directive in the function).
+    Returns the number of directives updated.
+    """
+    updated = 0
+    for _, _, instr in function.instructions():
+        if instr.opcode is not Opcode.PREDICT:
+            continue
+        if label is not None and instr.attrs.get("label") != label:
+            continue
+        if threshold is None:
+            instr.attrs.pop("threshold", None)
+        else:
+            instr.attrs["threshold"] = int(threshold)
+        updated += 1
+    return updated
+
+
+def soften_waits(function, barrier, threshold):
+    """Post-compile: convert hard waits on ``barrier`` to soft waits.
+
+    Lets the harness sweep thresholds (Figure 9) without re-running the
+    whole pipeline. Returns the number of waits converted.
+    """
+    converted = 0
+    for block in function.blocks:
+        for index, instr in enumerate(block.instructions):
+            if instr.opcode is Opcode.BSYNC and barrier_name_of(instr) == barrier:
+                block.instructions[index] = Instruction(
+                    Opcode.BSYNCSOFT,
+                    operands=[Barrier(barrier), Imm(int(threshold))],
+                    attrs=dict(instr.attrs),
+                )
+                converted += 1
+    return converted
+
+
+def expand_fig6_style(function, block_name, wait_index, threshold):
+    """Rewrite one hard wait into the explicit counting form of Figure 6.
+
+    The wait ``bsync b`` at ``(block_name, wait_index)`` becomes::
+
+        %cnt = barcnt $b          ; arrivedThreads(bCount)
+        %p   = cmple %cnt, threshold
+        bsync.soft $b, threshold  ; park while below threshold
+
+    with the predicate left in a register for inspection — this variant
+    exists to exercise the ``barcnt``/``bmov`` ISA surface the paper's
+    Figure 6 relies on; the compact ``bsync.soft`` lowering above is what
+    the pipeline emits.
+    """
+    block = function.block(block_name)
+    instr = block.instructions[wait_index]
+    if not is_wait(instr):
+        raise TransformError(
+            f"@{function.name}/{block_name}:{wait_index} is not a wait"
+        )
+    barrier = barrier_name_of(instr)
+    cnt = function.new_reg("cnt")
+    pred = function.new_reg("p")
+    replacement = [
+        Instruction(Opcode.BARCNT, dst=cnt, operands=[Barrier(barrier)]),
+        Instruction(
+            Opcode.CMPLE, dst=pred, operands=[cnt, Imm(int(threshold))]
+        ),
+        Instruction(
+            Opcode.BSYNCSOFT,
+            operands=[Barrier(barrier), Imm(int(threshold))],
+            attrs=dict(instr.attrs),
+        ),
+    ]
+    block.instructions[wait_index : wait_index + 1] = replacement
+    return barrier, cnt, pred

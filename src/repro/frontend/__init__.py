@@ -1,0 +1,27 @@
+"""Kernel frontend: AST, textual language, lowering, coarsening."""
+
+from repro.frontend import ast_nodes
+from repro.frontend.coarsen import coarsen_dynamic, coarsen_static
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.loop_transforms import (
+    fully_unroll_for,
+    unroll_labeled_while,
+    unroll_while,
+)
+from repro.frontend.lower import lower_kernel, lower_program
+from repro.frontend.parser import compile_kernel_source, parse_kernel_source
+
+__all__ = [
+    "Token",
+    "ast_nodes",
+    "coarsen_dynamic",
+    "coarsen_static",
+    "compile_kernel_source",
+    "fully_unroll_for",
+    "lower_kernel",
+    "lower_program",
+    "parse_kernel_source",
+    "tokenize",
+    "unroll_labeled_while",
+    "unroll_while",
+]

@@ -1,0 +1,297 @@
+"""Kernel-language AST.
+
+Workloads and examples describe kernels in a small structured language —
+either built programmatically with these node constructors or parsed from
+the textual form (:mod:`repro.frontend.parser`). The AST carries the
+paper's two annotations natively:
+
+* ``Predict("L1")`` / ``Predict("@foo")`` — the Section 4.1 directive,
+* ``Label("L1", stmt)`` — the predicted reconvergence point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+class Expr(Node):
+    pass
+
+
+@dataclass
+class Num(Expr):
+    value: object  # int or float
+
+
+@dataclass
+class Var(Expr):
+    name: str
+
+
+@dataclass
+class Bin(Expr):
+    op: str        # + - * / % < <= > >= == != and or min max shl shr xor
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Un(Expr):
+    op: str        # - ! floor sqrt sin cos exp log abs
+    operand: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    """Intrinsic or user-function call.
+
+    Intrinsics: ``tid() lane() warpid() rand() ld(addr)
+    atomadd(addr, v) fma(a, b, c) hash01(x) min(a,b) max(a,b)``.
+    Anything else resolves to a user function in the same program.
+    """
+
+    name: str
+    args: list = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: list = field(default_factory=list)
+
+
+@dataclass
+class Let(Stmt):
+    """Declare (or redeclare) a variable in the current function scope."""
+
+    name: str
+    value: Expr
+
+
+@dataclass
+class Assign(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass
+class Store(Stmt):
+    address: Expr
+    value: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: Block
+    else_body: Optional[Block] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Block
+
+
+@dataclass
+class For(Stmt):
+    """``for var in start..stop`` — half-open, step 1."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    body: Block
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Label(Stmt):
+    """Attach a reconvergence label to the start of a statement."""
+
+    name: str
+    statement: Stmt
+
+
+@dataclass
+class Predict(Stmt):
+    """Section 4.1 directive. ``target`` is a label name or ``"@func"``;
+    ``threshold`` turns the prediction into a soft barrier (Section 4.6)."""
+
+    target: str
+    threshold: Optional[int] = None
+
+
+@dataclass
+class Warpsync(Stmt):
+    pass
+
+
+@dataclass
+class DelayStmt(Stmt):
+    """A fixed-latency placeholder (e.g. a modeled texture fetch)."""
+
+    cycles: int
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+@dataclass
+class FuncDecl(Node):
+    name: str
+    params: list
+    body: Block
+    is_kernel: bool = False
+
+
+@dataclass
+class Program(Node):
+    functions: list = field(default_factory=list)
+
+    def function(self, name):
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers (the Python-side DSL)
+# ---------------------------------------------------------------------------
+def num(value):
+    return Num(value)
+
+
+def var(name):
+    return Var(name)
+
+
+def _expr(value):
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Num(value)
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"cannot convert {value!r} to an expression")
+
+
+def bin_(op, left, right):
+    return Bin(op, _expr(left), _expr(right))
+
+
+def add(a, b):
+    return bin_("+", a, b)
+
+
+def sub(a, b):
+    return bin_("-", a, b)
+
+
+def mul(a, b):
+    return bin_("*", a, b)
+
+
+def div(a, b):
+    return bin_("/", a, b)
+
+
+def mod(a, b):
+    return bin_("%", a, b)
+
+
+def lt(a, b):
+    return bin_("<", a, b)
+
+
+def le(a, b):
+    return bin_("<=", a, b)
+
+
+def gt(a, b):
+    return bin_(">", a, b)
+
+
+def ge(a, b):
+    return bin_(">=", a, b)
+
+
+def eq(a, b):
+    return bin_("==", a, b)
+
+
+def ne(a, b):
+    return bin_("!=", a, b)
+
+
+def call(name, *args):
+    return CallExpr(name, [_expr(a) for a in args])
+
+
+def block(*statements):
+    return Block(list(statements))
+
+
+def let(name, value):
+    return Let(name, _expr(value))
+
+
+def assign(name, value):
+    return Assign(name, _expr(value))
+
+
+def store(address, value):
+    return Store(_expr(address), _expr(value))
+
+
+def if_(cond, then_body, else_body=None):
+    return If(_expr(cond), then_body, else_body)
+
+
+def while_(cond, body):
+    return While(_expr(cond), body)
+
+
+def for_(var_name, start, stop, body):
+    return For(var_name, _expr(start), _expr(stop), body)
+
+
+def label(name, statement):
+    return Label(name, statement)
+
+
+def predict(target, threshold=None):
+    return Predict(target, threshold)

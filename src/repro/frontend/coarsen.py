@@ -1,0 +1,97 @@
+"""Thread coarsening (Section 3).
+
+"Programs that have a non-nested divergent loop may be modified using
+thread coarsening, i.e. combining work from multiple threads into a single
+thread by converting a loop into nested loops which can then be optimized"
+— RSBench's kernel gets its outer loop this way: "instead of a single
+variable length task per thread, we assign a large number of tasks per
+thread to enable load balancing over time."
+
+Two flavors:
+
+* :func:`coarsen_static` — each thread processes tasks
+  ``tid, tid + n_threads, tid + 2·n_threads, …`` (deterministic; results
+  are schedule-invariant, which the correctness tests rely on);
+* :func:`coarsen_dynamic` — threads pull task ids from a global counter
+  with ``atomadd`` (the GPU-scheduler-style work distribution the paper
+  describes; task-to-thread assignment then depends on timing).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.frontend import ast_nodes as A
+
+
+def _body_as_task(decl, task_var):
+    if not isinstance(decl.body, A.Block):
+        raise TransformError(f"@{decl.name}: body must be a Block")
+    return decl.body
+
+
+def coarsen_static(decl, task_var="task", n_tasks_var="n_tasks", n_threads_var="n_threads"):
+    """Wrap a one-task kernel body in a strided outer loop.
+
+    The kernel gains ``n_tasks`` / ``n_threads`` parameters; the original
+    body runs once per ``task = tid + k * n_threads``.
+    """
+    body = _body_as_task(decl, task_var)
+    new_body = A.Block(
+        [
+            A.Let(task_var, A.CallExpr("tid", [])),
+            A.While(
+                A.Bin("<", A.Var(task_var), A.Var(n_tasks_var)),
+                A.Block(
+                    list(body.statements)
+                    + [
+                        A.Assign(
+                            task_var,
+                            A.Bin("+", A.Var(task_var), A.Var(n_threads_var)),
+                        )
+                    ]
+                ),
+            ),
+        ]
+    )
+    params = list(decl.params)
+    for param in (n_tasks_var, n_threads_var):
+        if param not in params:
+            params.append(param)
+    return A.FuncDecl(
+        name=decl.name, params=params, body=new_body, is_kernel=decl.is_kernel
+    )
+
+
+def coarsen_dynamic(decl, task_var="task", n_tasks_var="n_tasks", counter_addr_var="task_counter"):
+    """Wrap a one-task kernel body in an atomic work-queue loop.
+
+    Each iteration grabs ``task = atomadd(task_counter, 1)`` and stops once
+    the counter passes ``n_tasks`` — dynamic load balancing over time.
+    """
+    body = _body_as_task(decl, task_var)
+    loop = A.While(
+        A.Num(1),
+        A.Block(
+            [
+                A.Let(
+                    task_var,
+                    A.CallExpr("atomadd", [A.Var(counter_addr_var), A.Num(1)]),
+                ),
+                A.If(
+                    A.Bin(">=", A.Var(task_var), A.Var(n_tasks_var)),
+                    A.Block([A.Break()]),
+                ),
+            ]
+            + list(body.statements)
+        ),
+    )
+    params = list(decl.params)
+    for param in (n_tasks_var, counter_addr_var):
+        if param not in params:
+            params.append(param)
+    return A.FuncDecl(
+        name=decl.name,
+        params=params,
+        body=A.Block([loop]),
+        is_kernel=decl.is_kernel,
+    )

@@ -1,0 +1,73 @@
+"""Tokenizer for the textual kernel language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "kernel",
+    "func",
+    "let",
+    "store",
+    "if",
+    "else",
+    "while",
+    "for",
+    "in",
+    "break",
+    "continue",
+    "return",
+    "predict",
+    "label",
+    "warpsync",
+    "delay",
+    "and",
+    "or",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r\n]+)
+  | (?P<comment>//[^\n]*|\#[^\n]*)
+  | (?P<number>\d+\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<at>@[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>\.\.|<=|>=|==|!=|[-+*/%<>=!(){},;:])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # number | name | keyword | at | op | eof
+    text: str
+    line: int
+
+
+def tokenize(source):
+    """Tokenize kernel-language source; raises ParseError on bad input."""
+    tokens = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[pos]!r}", line=line
+            )
+        kind = match.lastgroup
+        text = match.group()
+        start_line = line
+        line += text.count("\n")
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "name" and text in KEYWORDS:
+            kind = "keyword"
+        tokens.append(Token(kind, text, start_line))
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,174 @@
+"""AST-level loop transformations interacting with Speculative
+Reconvergence (Section 6, "Interaction with loop optimizations").
+
+* :func:`unroll_while` — partial unrolling by a factor of N. "If the inner
+  loop of a loop nest is partially unrolled by a factor of N, Loop Merge
+  may be still applied. Reconvergence is needed only once per N iterations
+  of the inner loop body, which may reduce the overhead of synchronization
+  for reconvergence." Each extra copy is guarded by the (re-evaluated)
+  loop condition, so any trip count remains correct; the label stays on
+  the first copy only, so threads wait once per N iterations.
+* :func:`fully_unroll_for` — complete unrolling of constant-trip ``For``
+  loops. "If a loop is completely unrolled, Iteration Delay and Loop Merge
+  cannot be applied" — the transform refuses to unroll a loop whose body
+  carries a predicted label, surfacing exactly that conflict.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.errors import TransformError
+from repro.frontend import ast_nodes as A
+
+
+def _contains_label(node, label=None):
+    """Does the subtree contain a Label (optionally a specific one)?"""
+    if isinstance(node, A.Label):
+        if label is None or node.name == label:
+            return True
+        return _contains_label(node.statement, label)
+    if isinstance(node, A.Block):
+        return any(_contains_label(s, label) for s in node.statements)
+    if isinstance(node, A.If):
+        if _contains_label(node.then_body, label):
+            return True
+        return node.else_body is not None and _contains_label(node.else_body, label)
+    if isinstance(node, (A.While, A.For)):
+        return _contains_label(node.body, label)
+    return False
+
+
+def _strip_labels(node):
+    """A deep copy of the subtree with Label wrappers removed (the copies
+    of an unrolled body must not duplicate the reconvergence point)."""
+    node = copy.deepcopy(node)
+
+    def strip(n):
+        if isinstance(n, A.Label):
+            return strip(n.statement)
+        if isinstance(n, A.Block):
+            n.statements = [strip(s) for s in n.statements]
+            return n
+        if isinstance(n, A.If):
+            n.then_body = strip(n.then_body)
+            if n.else_body is not None:
+                n.else_body = strip(n.else_body)
+            return n
+        if isinstance(n, (A.While, A.For)):
+            n.body = strip(n.body)
+            return n
+        return n
+
+    return strip(node)
+
+
+def unroll_while(loop, factor):
+    """Partially unroll a ``While`` by ``factor``; returns a new While.
+
+    The result executes the body up to ``factor`` times per header test::
+
+        while (c) { B }   ->   while (c) { B; if (c) { B'; if (c) { B'' }}}
+
+    where the copies ``B'``/``B''`` have their reconvergence labels
+    stripped, so a Loop Merge wait fires once per ``factor`` iterations.
+    """
+    if not isinstance(loop, A.While):
+        raise TransformError(f"unroll_while needs a While, got {loop!r}")
+    if factor < 2:
+        raise TransformError(f"unroll factor must be >= 2, got {factor}")
+    body = loop.body
+    unrolled = None
+    for _ in range(factor - 1):
+        copy_body = _strip_labels(body)
+        if unrolled is not None:
+            copy_body = A.Block(
+                list(copy_body.statements)
+                + [A.If(copy.deepcopy(loop.cond), unrolled)]
+            )
+        unrolled = copy_body
+    new_body = A.Block(
+        list(copy.deepcopy(body).statements)
+        + [A.If(copy.deepcopy(loop.cond), unrolled)]
+    )
+    return A.While(copy.deepcopy(loop.cond), new_body)
+
+
+def unroll_labeled_while(decl, label, factor):
+    """Unroll the innermost While whose body contains ``label`` (in place
+    on a deep copy of ``decl``); returns the new FuncDecl."""
+    decl = copy.deepcopy(decl)
+    found = []
+
+    def visit(node):
+        if isinstance(node, A.Block):
+            for index, stmt in enumerate(node.statements):
+                if (
+                    isinstance(stmt, A.While)
+                    and _contains_label(stmt.body, label)
+                    and not any(
+                        _contains_label(s, label)
+                        for s in _inner_loops(stmt.body)
+                    )
+                ):
+                    node.statements[index] = unroll_while(stmt, factor)
+                    found.append(stmt)
+                else:
+                    visit(stmt)
+        elif isinstance(node, A.If):
+            visit(node.then_body)
+            if node.else_body is not None:
+                visit(node.else_body)
+        elif isinstance(node, (A.While, A.For)):
+            visit(node.body)
+        elif isinstance(node, A.Label):
+            visit(node.statement)
+
+    visit(decl.body)
+    if not found:
+        raise TransformError(f"no while loop contains label {label!r}")
+    return decl
+
+
+def _inner_loops(block):
+    loops = []
+
+    def visit(node):
+        if isinstance(node, (A.While, A.For)):
+            loops.append(node)
+            visit(node.body)
+        elif isinstance(node, A.Block):
+            for stmt in node.statements:
+                visit(stmt)
+        elif isinstance(node, A.If):
+            visit(node.then_body)
+            if node.else_body is not None:
+                visit(node.else_body)
+        elif isinstance(node, A.Label):
+            visit(node.statement)
+
+    visit(block)
+    return loops
+
+
+def fully_unroll_for(loop):
+    """Completely unroll a constant-range ``For``; returns a Block.
+
+    Refuses when the body carries a reconvergence label: a fully unrolled
+    loop has no iterations left to collect threads across (Section 6).
+    """
+    if not isinstance(loop, A.For):
+        raise TransformError(f"fully_unroll_for needs a For, got {loop!r}")
+    if not isinstance(loop.start, A.Num) or not isinstance(loop.stop, A.Num):
+        raise TransformError("can only fully unroll constant-range loops")
+    if _contains_label(loop.body):
+        raise TransformError(
+            "cannot fully unroll a loop whose body is a predicted "
+            "reconvergence point (Iteration Delay / Loop Merge would no "
+            "longer apply)"
+        )
+    statements = []
+    for value in range(int(loop.start.value), int(loop.stop.value)):
+        statements.append(A.Let(loop.var, A.Num(value)))
+        statements.extend(copy.deepcopy(loop.body).statements)
+    return A.Block(statements)

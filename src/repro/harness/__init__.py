@@ -1,0 +1,57 @@
+"""Experiment harness: regenerates every table and figure of Section 5."""
+
+from repro.harness.experiment import (
+    ComparisonRow,
+    SweepPoint,
+    compare_all,
+    compare_workload,
+    threshold_sweep,
+)
+from repro.harness.figures import (
+    ALL_FIGURES,
+    FigureResult,
+    corpus_funnel,
+    deconfliction_ablation,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    funccall_microbenchmark,
+    table2,
+)
+from repro.harness.timeline import (
+    assign_symbols,
+    convergence_series,
+    render_timeline,
+)
+from repro.harness.report import (
+    efficiency_chart,
+    format_bar,
+    format_table,
+    markdown_table,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "ComparisonRow",
+    "FigureResult",
+    "SweepPoint",
+    "compare_all",
+    "compare_workload",
+    "corpus_funnel",
+    "deconfliction_ablation",
+    "efficiency_chart",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "format_bar",
+    "format_table",
+    "funccall_microbenchmark",
+    "markdown_table",
+    "table2",
+    "render_timeline",
+    "convergence_series",
+    "assign_symbols",
+    "threshold_sweep",
+]

@@ -1,0 +1,54 @@
+"""CLI: ``python -m repro.harness [figure ...]``.
+
+Without arguments, regenerates every fast figure (the full 520-app corpus
+funnel is opt-in via ``funnel`` or ``--full``). Example::
+
+    python -m repro.harness fig7 fig9
+    python -m repro.harness --full          # everything, incl. the funnel
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.figures import ALL_FIGURES
+
+FAST_FIGURES = [name for name in ALL_FIGURES if name != "funnel"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        choices=sorted(ALL_FIGURES) + [[]],
+        help=f"figures to run (default: all except 'funnel'): {sorted(ALL_FIGURES)}",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="run everything, including the 520-app funnel"
+    )
+    parser.add_argument("--seed", type=int, default=2020)
+    args = parser.parse_args(argv)
+
+    names = args.figures or (sorted(ALL_FIGURES) if args.full else FAST_FIGURES)
+    for name in names:
+        fn = ALL_FIGURES[name]
+        start = time.time()
+        if name in ("table2", "funnel"):
+            result = fn()
+        else:
+            result = fn(seed=args.seed)
+        elapsed = time.time() - start
+        print(f"=== {name} ({elapsed:.1f}s) " + "=" * 40)
+        print(result.text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

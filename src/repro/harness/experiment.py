@@ -1,0 +1,90 @@
+"""Experiment runners shared by the figure generators and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads import get_workload
+
+
+@dataclass
+class ComparisonRow:
+    """Baseline-vs-SR measurements for one workload."""
+
+    workload: str
+    pattern: str
+    baseline_eff: float
+    sr_eff: float
+    baseline_cycles: int
+    sr_cycles: int
+    threshold: object
+    checksum_ok: bool
+
+    @property
+    def efficiency_gain(self):
+        return self.sr_eff / self.baseline_eff if self.baseline_eff else float("inf")
+
+    @property
+    def speedup(self):
+        return self.baseline_cycles / self.sr_cycles if self.sr_cycles else float("inf")
+
+
+def compare_workload(name, seed=2020, **params):
+    """Run one workload baseline vs SR (with its user-chosen threshold)."""
+    workload = get_workload(name, **params)
+    baseline, optimized = workload.compare(seed=seed)
+    if workload.deterministic_memory:
+        checksum_ok = baseline.checksum == optimized.checksum
+    else:
+        checksum_ok = abs(baseline.checksum - optimized.checksum) < 1e-2
+    return ComparisonRow(
+        workload=name,
+        pattern=workload.pattern,
+        baseline_eff=baseline.simt_efficiency,
+        sr_eff=optimized.simt_efficiency,
+        baseline_cycles=baseline.cycles,
+        sr_cycles=optimized.cycles,
+        threshold=workload.sr_threshold,
+        checksum_ok=checksum_ok,
+    )
+
+
+def compare_all(names, seed=2020, params=None):
+    """ComparisonRows for a list of workload names."""
+    params = params or {}
+    return [
+        compare_workload(name, seed=seed, **params.get(name, {}))
+        for name in names
+    ]
+
+
+@dataclass
+class SweepPoint:
+    threshold: int
+    simt_efficiency: float
+    cycles: int
+    speedup: float
+
+
+def threshold_sweep(name, thresholds=None, seed=2020, **params):
+    """Soft-barrier threshold sweep for one workload (Figure 9).
+
+    Returns (baseline_result, [SweepPoint...]). ``threshold=32`` and above
+    behave as the hard barrier (wait for every member).
+    """
+    workload = get_workload(name, **params)
+    thresholds = list(thresholds) if thresholds is not None else list(range(0, 33, 4))
+    baseline = workload.run(mode="baseline", seed=seed)
+    points = []
+    for k in thresholds:
+        effective = None if k >= 32 else k  # >=32 collapses to hard wait
+        result = workload.run(mode="sr", threshold=effective, seed=seed)
+        points.append(
+            SweepPoint(
+                threshold=k,
+                simt_efficiency=result.simt_efficiency,
+                cycles=result.cycles,
+                speedup=baseline.cycles / result.cycles,
+            )
+        )
+    return baseline, points

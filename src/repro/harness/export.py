@@ -1,0 +1,94 @@
+"""Machine-readable export of experiment results (JSON / CSV).
+
+The figure generators return structured data; this module serializes it so
+external tooling (plotting scripts, CI dashboards) can consume the
+reproduction's measurements. ``python -m repro.harness.export`` writes one
+JSON file with every fast figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import sys
+
+from repro.harness.experiment import compare_all, threshold_sweep
+from repro.workloads import FIGURE7_WORKLOADS
+
+
+def comparison_rows_to_dicts(rows):
+    return [
+        {
+            "workload": r.workload,
+            "pattern": r.pattern,
+            "baseline_eff": r.baseline_eff,
+            "sr_eff": r.sr_eff,
+            "efficiency_gain": r.efficiency_gain,
+            "baseline_cycles": r.baseline_cycles,
+            "sr_cycles": r.sr_cycles,
+            "speedup": r.speedup,
+            "threshold": r.threshold,
+            "checksum_ok": r.checksum_ok,
+        }
+        for r in rows
+    ]
+
+
+def sweep_to_dicts(baseline, points):
+    return {
+        "baseline": {
+            "simt_efficiency": baseline.simt_efficiency,
+            "cycles": baseline.cycles,
+        },
+        "points": [
+            {
+                "threshold": p.threshold,
+                "simt_efficiency": p.simt_efficiency,
+                "cycles": p.cycles,
+                "speedup": p.speedup,
+            }
+            for p in points
+        ],
+    }
+
+
+def collect_results(seed=2020, sweep_workloads=("pathtracer", "xsbench")):
+    """All fast-figure measurements as one JSON-serializable dict."""
+    rows = compare_all(FIGURE7_WORKLOADS, seed=seed)
+    sweeps = {}
+    for name in sweep_workloads:
+        baseline, points = threshold_sweep(name, seed=seed)
+        sweeps[name] = sweep_to_dicts(baseline, points)
+    return {
+        "figure7_8": comparison_rows_to_dicts(rows),
+        "figure9": sweeps,
+        "seed": seed,
+    }
+
+
+def to_csv(rows):
+    """Figure 7/8 rows as CSV text."""
+    dicts = comparison_rows_to_dicts(rows)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(dicts[0]))
+    writer.writeheader()
+    writer.writerows(dicts)
+    return buffer.getvalue()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--output", default="results.json")
+    parser.add_argument("--seed", type=int, default=2020)
+    args = parser.parse_args(argv)
+    results = collect_results(seed=args.seed)
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Plain-text rendering of experiment results (tables and bar rows).
+
+The harness prints the same rows/series the paper's figures report; these
+helpers keep the formatting consistent between the CLI, the benchmarks,
+and EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title=None):
+    """Monospace table with column auto-sizing."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            columns[i].append(_format_cell(cell))
+    widths = [max(len(v) for v in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for r, row in enumerate(rows):
+        lines.append(
+            "  ".join(
+                _format_cell(cell).ljust(w) for cell, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(cell):
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_bar(value, scale=40, maximum=1.0, char="#"):
+    """An ASCII bar for efficiency-style values in [0, maximum]."""
+    filled = int(round(scale * min(value, maximum) / maximum))
+    return char * filled
+
+
+def efficiency_chart(rows, title=None):
+    """Rows of (label, baseline_eff, optimized_eff) as paired ASCII bars
+    (the Figure 7 layout)."""
+    lines = [title] if title else []
+    width = max((len(label) for label, *_ in rows), default=0)
+    for label, base, opt in rows:
+        lines.append(
+            f"{label.ljust(width)}  base {base:5.1%} |{format_bar(base):40s}|"
+        )
+        lines.append(
+            f"{''.ljust(width)}  +SR  {opt:5.1%} |{format_bar(opt):40s}|"
+        )
+    return "\n".join(lines)
+
+
+def markdown_table(headers, rows):
+    """GitHub-flavored markdown table (for EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(c) for c in row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Execution-timeline diagrams — the paper's Figure 1 / Figure 3(b)
+cartoons, regenerated from real traces.
+
+Render one warp's execution as a lane × time grid: each column is a slice
+of issue slots, each cell shows which basic block the lane spent that
+slice in (``.`` = idle/waiting). Under PDOM sync the expensive block forms
+a diagonal staircase (serialized execution, Figure 1a); under Speculative
+Reconvergence it forms solid vertical bands (converged waves, Figure 1b).
+
+Requires a launch made with ``GPUMachine(module, trace=True)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.simt.warp import WARP_SIZE
+
+#: Symbols assigned to blocks in first-appearance order.
+_SYMBOLS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def assign_symbols(trace, warp_id=0, highlight=None):
+    """Map block names to single characters, highlighted block first."""
+    symbols = {}
+    if highlight is not None:
+        symbols[highlight] = "#"
+    assigned = 0
+    for wid, _function, block, _lanes in trace:
+        if wid == warp_id and block not in symbols:
+            symbols[block] = _SYMBOLS[assigned % len(_SYMBOLS)]
+            assigned += 1
+    return symbols
+
+
+def render_timeline(
+    launch,
+    warp_id=0,
+    width=96,
+    lanes=WARP_SIZE,
+    highlight=None,
+    legend=True,
+):
+    """Render a lane-by-time ASCII diagram for one warp.
+
+    Args:
+        launch: a LaunchResult from a tracing machine.
+        width: number of time columns (issues are bucketed evenly).
+        highlight: block name drawn as ``#`` (e.g. the Expensive() block).
+    """
+    trace = launch.profiler.trace
+    if trace is None:
+        raise ReproError(
+            "timeline needs a trace; launch with GPUMachine(..., trace=True)"
+        )
+    events = [e for e in trace if e[0] == warp_id]
+    if not events:
+        raise ReproError(f"no trace events for warp {warp_id}")
+    symbols = assign_symbols(events, warp_id=warp_id, highlight=highlight)
+    columns = min(width, len(events))
+    per_column = len(events) / columns
+
+    grid = [["." for _ in range(columns)] for _ in range(lanes)]
+    for column in range(columns):
+        start = int(column * per_column)
+        stop = max(start + 1, int((column + 1) * per_column))
+        # Majority block per lane within the bucket.
+        tally = [dict() for _ in range(lanes)]
+        for _wid, _function, block, active in events[start:stop]:
+            for lane in active:
+                if lane < lanes:
+                    tally[lane][block] = tally[lane].get(block, 0) + 1
+        for lane in range(lanes):
+            if tally[lane]:
+                block = max(tally[lane], key=tally[lane].get)
+                grid[lane][column] = symbols.get(block, "?")
+
+    lines = []
+    for lane in range(lanes):
+        lines.append(f"T{lane:02d} |" + "".join(grid[lane]) + "|")
+    if legend:
+        lines.append("")
+        lines.append("time ->  (each column ~ "
+                     f"{per_column:.1f} issue slots; '.' = idle/waiting)")
+        for block, symbol in symbols.items():
+            lines.append(f"  {symbol} = {block}")
+    return "\n".join(lines)
+
+
+def convergence_series(launch, block, function=None, warp_id=0):
+    """Active-lane counts of every visit to ``block`` (a numeric view of
+    the same story: PDOM gives small numbers, SR gives wide waves)."""
+    trace = launch.profiler.trace
+    if trace is None:
+        raise ReproError("convergence_series needs a tracing launch")
+    series = []
+    for wid, fn, blk, lanes in trace:
+        if wid == warp_id and blk == block and (function is None or fn == function):
+            series.append(len(lanes))
+    return series

@@ -1,0 +1,61 @@
+"""Compiler IR: instructions, blocks, functions, text format, verifier."""
+
+from repro.ir.basic_block import BasicBlock, count_static_instructions
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function, Module
+from repro.ir.instructions import (
+    BARRIER_OPS,
+    BINARY_OPS,
+    DIVERGENT_SOURCES,
+    HAS_DST,
+    TERMINATORS,
+    UNARY_OPS,
+    Barrier,
+    BlockRef,
+    FuncRef,
+    Imm,
+    Instruction,
+    Opcode,
+    Reg,
+    make,
+)
+from repro.ir.parser import parse_function, parse_module
+from repro.ir.printer import (
+    format_block,
+    format_function,
+    format_instruction,
+    format_module,
+    format_operand,
+)
+from repro.ir.verifier import verify_function, verify_module
+
+__all__ = [
+    "BARRIER_OPS",
+    "BINARY_OPS",
+    "DIVERGENT_SOURCES",
+    "HAS_DST",
+    "TERMINATORS",
+    "UNARY_OPS",
+    "Barrier",
+    "BasicBlock",
+    "BlockRef",
+    "FuncRef",
+    "Function",
+    "IRBuilder",
+    "Imm",
+    "Instruction",
+    "Module",
+    "Opcode",
+    "Reg",
+    "count_static_instructions",
+    "format_block",
+    "format_function",
+    "format_instruction",
+    "format_module",
+    "format_operand",
+    "make",
+    "parse_function",
+    "parse_module",
+    "verify_function",
+    "verify_module",
+]

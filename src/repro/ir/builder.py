@@ -1,0 +1,237 @@
+"""Imperative IR construction helper.
+
+The builder tracks a current insertion block and provides one emit method per
+opcode family, returning the destination register where applicable::
+
+    fn = Function("k", is_kernel=True)
+    b = IRBuilder(fn)
+    b.set_block(fn.new_block("entry"))
+    i = b.const(0)
+    ...
+    b.cbr(pred, "body", "exit")
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Barrier,
+    BlockRef,
+    FuncRef,
+    Imm,
+    Instruction,
+    Opcode,
+    Reg,
+)
+
+
+def _as_operand(value):
+    """Coerce Python values to IR operands (numbers become immediates)."""
+    if isinstance(value, (Reg, Imm, Barrier, BlockRef, FuncRef)):
+        return value
+    if isinstance(value, bool):
+        return Imm(int(value))
+    if isinstance(value, (int, float)):
+        return Imm(value)
+    raise IRError(f"cannot use {value!r} as an IR operand")
+
+
+def _as_barrier(value):
+    if isinstance(value, (Barrier, Reg)):
+        return value
+    if isinstance(value, str):
+        return Barrier(value)
+    raise IRError(f"cannot use {value!r} as a barrier operand")
+
+
+class IRBuilder:
+    """Builds instructions into a current block of a function."""
+
+    def __init__(self, function, block=None):
+        self.function = function
+        self.block = block
+
+    def set_block(self, block):
+        if isinstance(block, str):
+            block = self.function.block(block)
+        self.block = block
+        return block
+
+    def new_block(self, hint="bb", attrs=None, switch=False):
+        block = self.function.new_block(hint, attrs=attrs)
+        if switch:
+            self.block = block
+        return block
+
+    def emit(self, opcode, dst=None, operands=(), **attrs):
+        if self.block is None:
+            raise IRError("builder has no current block")
+        instr = Instruction(opcode, dst=dst, operands=list(operands), attrs=attrs)
+        return self.block.append(instr)
+
+    def _emit_value(self, opcode, operands, hint, **attrs):
+        dst = self.function.new_reg(hint)
+        self.emit(opcode, dst=dst, operands=[_as_operand(v) for v in operands], **attrs)
+        return dst
+
+    # ------------------------------------------------------------------
+    # Values
+    # ------------------------------------------------------------------
+    def const(self, value, hint="c"):
+        return self._emit_value(Opcode.CONST, [value], hint)
+
+    def mov(self, src, hint="m"):
+        return self._emit_value(Opcode.MOV, [src], hint)
+
+    def mov_to(self, dst, src):
+        """Move into an existing register (for loop-carried variables)."""
+        self.emit(Opcode.MOV, dst=dst, operands=[_as_operand(src)])
+        return dst
+
+    def binop(self, opcode, a, b, hint="t"):
+        return self._emit_value(opcode, [a, b], hint)
+
+    def add(self, a, b, hint="t"):
+        return self.binop(Opcode.ADD, a, b, hint)
+
+    def sub(self, a, b, hint="t"):
+        return self.binop(Opcode.SUB, a, b, hint)
+
+    def mul(self, a, b, hint="t"):
+        return self.binop(Opcode.MUL, a, b, hint)
+
+    def div(self, a, b, hint="t"):
+        return self.binop(Opcode.DIV, a, b, hint)
+
+    def rem(self, a, b, hint="t"):
+        return self.binop(Opcode.REM, a, b, hint)
+
+    def fma(self, a, b, c, hint="t"):
+        return self._emit_value(Opcode.FMA, [a, b, c], hint)
+
+    def unop(self, opcode, a, hint="t"):
+        return self._emit_value(opcode, [a], hint)
+
+    def cmp(self, opcode, a, b, hint="p"):
+        return self.binop(opcode, a, b, hint)
+
+    def lt(self, a, b):
+        return self.cmp(Opcode.CMPLT, a, b)
+
+    def le(self, a, b):
+        return self.cmp(Opcode.CMPLE, a, b)
+
+    def gt(self, a, b):
+        return self.cmp(Opcode.CMPGT, a, b)
+
+    def ge(self, a, b):
+        return self.cmp(Opcode.CMPGE, a, b)
+
+    def eq(self, a, b):
+        return self.cmp(Opcode.CMPEQ, a, b)
+
+    def ne(self, a, b):
+        return self.cmp(Opcode.CMPNE, a, b)
+
+    def sel(self, pred, a, b, hint="s"):
+        return self._emit_value(Opcode.SEL, [pred, a, b], hint)
+
+    def tid(self, hint="tid"):
+        return self._emit_value(Opcode.TID, [], hint)
+
+    def lane(self, hint="lane"):
+        return self._emit_value(Opcode.LANE, [], hint)
+
+    def warpid(self, hint="wid"):
+        return self._emit_value(Opcode.WARPID, [], hint)
+
+    def rand(self, hint="r"):
+        return self._emit_value(Opcode.RAND, [], hint)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def load(self, addr, hint="v"):
+        return self._emit_value(Opcode.LD, [addr], hint)
+
+    def store(self, addr, value):
+        self.emit(
+            Opcode.ST, operands=[_as_operand(addr), _as_operand(value)]
+        )
+
+    def atom_add(self, addr, value, hint="old"):
+        return self._emit_value(Opcode.ATOMADD, [addr, value], hint)
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def bra(self, target):
+        name = target.name if hasattr(target, "name") else target
+        self.emit(Opcode.BRA, operands=[BlockRef(name)])
+
+    def cbr(self, pred, true_target, false_target):
+        t = true_target.name if hasattr(true_target, "name") else true_target
+        f = false_target.name if hasattr(false_target, "name") else false_target
+        self.emit(
+            Opcode.CBR,
+            operands=[_as_operand(pred), BlockRef(t), BlockRef(f)],
+        )
+
+    def call(self, func, args=(), hint="ret", void=False):
+        name = func.name if hasattr(func, "name") else func
+        dst = None if void else self.function.new_reg(hint)
+        operands = [FuncRef(name)] + [_as_operand(a) for a in args]
+        self.emit(Opcode.CALL, dst=dst, operands=operands)
+        return dst
+
+    def ret(self, value=None):
+        operands = [] if value is None else [_as_operand(value)]
+        self.emit(Opcode.RET, operands=operands)
+
+    def exit(self):
+        self.emit(Opcode.EXIT)
+
+    # ------------------------------------------------------------------
+    # Barriers and markers
+    # ------------------------------------------------------------------
+    def bssy(self, barrier, **attrs):
+        self.emit(Opcode.BSSY, operands=[_as_barrier(barrier)], **attrs)
+
+    def bsync(self, barrier, **attrs):
+        self.emit(Opcode.BSYNC, operands=[_as_barrier(barrier)], **attrs)
+
+    def bsync_soft(self, barrier, threshold, **attrs):
+        self.emit(
+            Opcode.BSYNCSOFT,
+            operands=[_as_barrier(barrier), _as_operand(threshold)],
+            **attrs,
+        )
+
+    def bbreak(self, barrier, **attrs):
+        self.emit(Opcode.BBREAK, operands=[_as_barrier(barrier)], **attrs)
+
+    def bmov(self, dst_reg, barrier, **attrs):
+        self.emit(Opcode.BMOV, dst=dst_reg, operands=[_as_barrier(barrier)], **attrs)
+        return dst_reg
+
+    def barcnt(self, barrier, hint="cnt", **attrs):
+        dst = self.function.new_reg(hint)
+        self.emit(Opcode.BARCNT, dst=dst, operands=[_as_barrier(barrier)], **attrs)
+        return dst
+
+    def predict(self, label):
+        """Emit a ``Predict(<label>)`` directive (Section 4.1)."""
+        self.emit(Opcode.PREDICT, operands=[], label=label)
+
+    def predict_call(self, func_name):
+        """Interprocedural ``Predict(@func)`` directive (Section 4.4)."""
+        self.emit(Opcode.PREDICT, operands=[FuncRef(func_name)])
+
+    def warpsync(self):
+        self.emit(Opcode.WARPSYNC)
+
+    def nop(self):
+        self.emit(Opcode.NOP)
+
+    def delay(self, cycles):
+        self.emit(Opcode.DELAY, operands=[Imm(int(cycles))])

@@ -1,0 +1,84 @@
+"""Textual IR printer.
+
+Produces a form the companion :mod:`repro.ir.parser` parses back
+(round-trip tested). Example::
+
+    func @kernel() kernel {
+    entry:
+      %i.1 = const 0
+      bra ^loop
+    loop: !{label="L1"}
+      %p.1 = cmplt %i.1, 10
+      cbr %p.1, ^body, ^done
+    ...
+    }
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Barrier, BlockRef, FuncRef, Imm, Reg
+
+#: Instruction / block attributes that survive printing and parsing.
+PRINTED_ATTRS = ("label", "role", "origin", "region_start")
+
+
+def _format_value(value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return '"' + str(value).replace('"', '\\"') + '"'
+
+
+def _format_attrs(attrs):
+    kept = [(k, attrs[k]) for k in PRINTED_ATTRS if k in attrs]
+    if not kept:
+        return ""
+    inner = ", ".join(f"{k}={_format_value(v)}" for k, v in kept)
+    return " !{" + inner + "}"
+
+
+def format_operand(op):
+    if isinstance(op, Reg):
+        return f"%{op.name}"
+    if isinstance(op, Barrier):
+        return f"${op.name}"
+    if isinstance(op, BlockRef):
+        return f"^{op.name}"
+    if isinstance(op, FuncRef):
+        return f"@{op.name}"
+    if isinstance(op, Imm):
+        return repr(op.value)
+    raise TypeError(f"unknown operand {op!r}")
+
+
+def format_instruction(instr):
+    parts = []
+    if instr.dst is not None:
+        parts.append(f"%{instr.dst.name} = ")
+    parts.append(instr.opcode.value)
+    if instr.operands:
+        parts.append(" " + ", ".join(format_operand(op) for op in instr.operands))
+    parts.append(_format_attrs(instr.attrs))
+    return "".join(parts)
+
+
+def format_block(block):
+    lines = [f"{block.name}:{_format_attrs(block.attrs)}"]
+    for instr in block.instructions:
+        lines.append("  " + format_instruction(instr))
+    return "\n".join(lines)
+
+
+def format_function(function):
+    params = ", ".join(f"%{p.name}" for p in function.params)
+    kind = " kernel" if function.is_kernel else ""
+    lines = [f"func @{function.name}({params}){kind} {{"]
+    for block in function.blocks:
+        lines.append(format_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module):
+    return "\n\n".join(format_function(fn) for fn in module) + "\n"

@@ -1,0 +1,229 @@
+"""IR structural verifier.
+
+Checks, per function:
+
+* every block ends with exactly one terminator, and terminators appear only
+  at block ends;
+* branch targets and callees resolve;
+* instruction operand shapes match their opcodes (arity, operand kinds);
+* registers are defined before use on every path (conservative: a register
+  must be defined on *some* path; strict mode requires all paths);
+* barrier operands are barriers or registers.
+
+The verifier is used by tests and by the pass pipeline after each transform.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerifierError
+from repro.ir.instructions import (
+    BARRIER_OPS,
+    BINARY_OPS,
+    HAS_DST,
+    UNARY_OPS,
+    Barrier,
+    BlockRef,
+    FuncRef,
+    Imm,
+    Opcode,
+    Reg,
+)
+
+#: Expected operand count per opcode; None means variadic/special-cased.
+_ARITY = {
+    Opcode.CONST: 1,
+    Opcode.SEL: 3,
+    Opcode.FMA: 3,
+    Opcode.TID: 0,
+    Opcode.LANE: 0,
+    Opcode.WARPID: 0,
+    Opcode.RAND: 0,
+    Opcode.LD: 1,
+    Opcode.ST: 2,
+    Opcode.ATOMADD: 2,
+    Opcode.BRA: 1,
+    Opcode.CBR: 3,
+    Opcode.RET: None,
+    Opcode.EXIT: 0,
+    Opcode.CALL: None,
+    Opcode.BSSY: 1,
+    Opcode.BSYNC: 1,
+    Opcode.BSYNCSOFT: 2,
+    Opcode.BBREAK: 1,
+    Opcode.BMOV: 1,
+    Opcode.BARCNT: 1,
+    Opcode.PREDICT: None,
+    Opcode.WARPSYNC: 0,
+    Opcode.NOP: 0,
+    Opcode.DELAY: 1,
+}
+
+
+def _fail(function, block, message):
+    where = f"@{function.name}"
+    if block is not None:
+        where += f"/{block.name}"
+    raise VerifierError(f"{where}: {message}")
+
+
+def _check_operand_shapes(function, block, instr):
+    opcode = instr.opcode
+    if opcode in BINARY_OPS:
+        expected = 2
+    elif opcode in UNARY_OPS:
+        expected = 1
+    else:
+        expected = _ARITY.get(opcode)
+    if expected is not None and len(instr.operands) != expected:
+        _fail(
+            function,
+            block,
+            f"{opcode.value} expects {expected} operands, "
+            f"got {len(instr.operands)}: {instr!r}",
+        )
+    if opcode is Opcode.RET and len(instr.operands) > 1:
+        _fail(function, block, f"ret takes at most one operand: {instr!r}")
+    if opcode is Opcode.CALL:
+        if not instr.operands or not isinstance(instr.operands[0], FuncRef):
+            _fail(function, block, f"call must name a function: {instr!r}")
+    if opcode is Opcode.BRA and not isinstance(instr.operands[0], BlockRef):
+        _fail(function, block, f"bra target must be a block: {instr!r}")
+    if opcode is Opcode.CBR:
+        if not isinstance(instr.operands[1], BlockRef) or not isinstance(
+            instr.operands[2], BlockRef
+        ):
+            _fail(function, block, f"cbr targets must be blocks: {instr!r}")
+    if opcode in BARRIER_OPS or opcode is Opcode.BMOV:
+        bar = instr.operands[0] if instr.operands else None
+        if not isinstance(bar, (Barrier, Reg)):
+            _fail(
+                function,
+                block,
+                f"{opcode.value} needs a barrier or barrier register: {instr!r}",
+            )
+    has_dst = instr.dst is not None
+    wants_dst = opcode in HAS_DST or opcode is Opcode.BMOV
+    if opcode is Opcode.CALL:
+        pass  # call dst optional
+    elif has_dst and not wants_dst:
+        _fail(function, block, f"{opcode.value} must not define a register")
+    elif wants_dst and not has_dst:
+        _fail(function, block, f"{opcode.value} must define a register: {instr!r}")
+
+
+def _check_terminators(function):
+    for block in function.blocks:
+        if not block.instructions:
+            _fail(function, block, "empty block (no terminator)")
+        for index, instr in enumerate(block.instructions):
+            last = index == len(block.instructions) - 1
+            if instr.is_terminator and not last:
+                _fail(
+                    function,
+                    block,
+                    f"terminator {instr.opcode.value} not at block end",
+                )
+            if last and not instr.is_terminator:
+                _fail(function, block, "block does not end in a terminator")
+
+
+def _check_targets(function, module):
+    known = {block.name for block in function.blocks}
+    for block in function.blocks:
+        for instr in block:
+            for target in instr.block_targets():
+                if target not in known:
+                    _fail(function, block, f"branch to unknown block ^{target}")
+            if instr.opcode is Opcode.CALL and module is not None:
+                callee = instr.operands[0].name
+                if callee not in module.functions:
+                    _fail(function, block, f"call to unknown function @{callee}")
+
+
+def _must_defined_in(function):
+    """Forward must-defined analysis: IN[b] = ∩ OUT[preds], optimistic init."""
+    preds = function.predecessors()
+    params = set(function.params)
+    universe = set(function.all_registers()) | params
+    gen = {}
+    for block in function.blocks:
+        defs = set()
+        for instr in block:
+            defs.update(instr.defs())
+        gen[block.name] = defs
+    defined_out = {block.name: set(universe) for block in function.blocks}
+    defined_out[function.entry.name] = params | gen[function.entry.name]
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            name = block.name
+            if name == function.entry.name:
+                live_in = set(params)
+            else:
+                incoming = [defined_out[p] for p in preds[name]]
+                if incoming:
+                    live_in = set(incoming[0])
+                    for s in incoming[1:]:
+                        live_in &= s
+                    live_in |= params
+                else:
+                    live_in = set(params)  # unreachable block: be lenient
+            new_out = live_in | gen[name]
+            if new_out != defined_out[name]:
+                defined_out[name] = new_out
+                changed = True
+    defined_in = {}
+    for block in function.blocks:
+        name = block.name
+        if name == function.entry.name:
+            defined_in[name] = set(params)
+        else:
+            incoming = [defined_out[p] for p in preds[name]]
+            if incoming:
+                live_in = set(incoming[0])
+                for s in incoming[1:]:
+                    live_in &= s
+                defined_in[name] = live_in | params
+            else:
+                defined_in[name] = set(universe)  # unreachable: skip checking
+        defined_in[name] = defined_in[name]
+    return defined_in
+
+
+def _check_defs_before_use(function):
+    """Every use must be preceded by a definition on all paths."""
+    defined_in = _must_defined_in(function)
+    for block in function.blocks:
+        live = set(defined_in[block.name])
+        for instr in block:
+            for reg in instr.uses():
+                if reg not in live:
+                    _fail(
+                        function,
+                        block,
+                        f"register %{reg.name} used before any definition "
+                        f"in {instr!r}",
+                    )
+            live.update(instr.defs())
+
+
+def verify_function(function, module=None, check_defs=True):
+    """Verify one function; raises :class:`VerifierError` on violation."""
+    if not function.blocks:
+        _fail(function, None, "function has no blocks")
+    _check_terminators(function)
+    _check_targets(function, module)
+    for block in function.blocks:
+        for instr in block:
+            _check_operand_shapes(function, block, instr)
+    if check_defs:
+        _check_defs_before_use(function)
+    return True
+
+
+def verify_module(module, check_defs=True):
+    """Verify every function in the module."""
+    for function in module:
+        verify_function(function, module=module, check_defs=check_defs)
+    return True

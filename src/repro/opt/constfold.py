@@ -1,0 +1,130 @@
+"""Constant folding and copy propagation.
+
+A local (per-block) value-tracking pass: registers holding known constants
+fold into their users; ``mov`` chains propagate. Being local keeps the
+pass trivially sound in the non-SSA IR — a register is only trusted while
+no intervening redefinition occurred, and the map resets at block entry.
+
+Barrier, memory, control and marker instructions are never touched beyond
+operand substitution.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.instructions import (
+    BINARY_OPS,
+    Imm,
+    Opcode,
+    Reg,
+    UNARY_OPS,
+)
+
+_BINARY_FOLD = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.MIN: min,
+    Opcode.MAX: max,
+    Opcode.AND: lambda a, b: int(a) & int(b),
+    Opcode.OR: lambda a, b: int(a) | int(b),
+    Opcode.XOR: lambda a, b: int(a) ^ int(b),
+    Opcode.SHL: lambda a, b: int(a) << int(b),
+    Opcode.SHR: lambda a, b: int(a) >> int(b),
+    Opcode.CMPLT: lambda a, b: 1 if a < b else 0,
+    Opcode.CMPLE: lambda a, b: 1 if a <= b else 0,
+    Opcode.CMPGT: lambda a, b: 1 if a > b else 0,
+    Opcode.CMPGE: lambda a, b: 1 if a >= b else 0,
+    Opcode.CMPEQ: lambda a, b: 1 if a == b else 0,
+    Opcode.CMPNE: lambda a, b: 1 if a != b else 0,
+}
+
+_UNARY_FOLD = {
+    Opcode.MOV: lambda a: a,
+    Opcode.NEG: lambda a: -a,
+    Opcode.NOT: lambda a: 0 if a != 0 else 1,
+    Opcode.FLOOR: lambda a: int(math.floor(a)),
+    Opcode.ABS: abs,
+}
+
+# DIV/REM and transcendental folds are skipped: the interpreter's guarded
+# semantics (divide-by-zero -> 0, exp clamping) must stay bit-identical
+# and duplicating them here would be a second source of truth.
+
+
+def fold_function(function):
+    """Fold constants in every block; returns the number of rewrites."""
+    rewrites = 0
+    for block in function.blocks:
+        known = {}   # Reg -> constant value
+        copies = {}  # Reg -> Reg (trusted within the block)
+        for instr in block.instructions:
+            # Substitute known operands first.
+            new_operands = []
+            for operand in instr.operands:
+                if isinstance(operand, Reg):
+                    if operand in known:
+                        new_operands.append(Imm(known[operand]))
+                        rewrites += 1
+                        continue
+                    if operand in copies:
+                        new_operands.append(copies[operand])
+                        rewrites += 1
+                        continue
+                new_operands.append(operand)
+            instr.operands = new_operands
+
+            # Invalidate anything the instruction redefines.
+            if instr.dst is not None:
+                known.pop(instr.dst, None)
+                copies.pop(instr.dst, None)
+                for key, value in list(copies.items()):
+                    if value == instr.dst:
+                        del copies[key]
+
+            # Learn new facts / fold the instruction itself.
+            opcode = instr.opcode
+            if opcode is Opcode.CONST:
+                known[instr.dst] = instr.operands[0].value
+            elif opcode is Opcode.MOV:
+                source = instr.operands[0]
+                if isinstance(source, Imm):
+                    known[instr.dst] = source.value
+                elif isinstance(source, Reg):
+                    copies[instr.dst] = source
+            elif (
+                opcode in _BINARY_FOLD
+                and opcode in BINARY_OPS
+                and all(isinstance(op, Imm) for op in instr.operands)
+            ):
+                value = _BINARY_FOLD[opcode](
+                    instr.operands[0].value, instr.operands[1].value
+                )
+                instr.opcode = Opcode.CONST
+                instr.operands = [Imm(value)]
+                known[instr.dst] = value
+                rewrites += 1
+            elif (
+                opcode in _UNARY_FOLD
+                and opcode in UNARY_OPS
+                and isinstance(instr.operands[0], Imm)
+            ):
+                value = _UNARY_FOLD[opcode](instr.operands[0].value)
+                instr.opcode = Opcode.CONST
+                instr.operands = [Imm(value)]
+                known[instr.dst] = value
+                rewrites += 1
+            elif opcode is Opcode.FMA and all(
+                isinstance(op, Imm) for op in instr.operands
+            ):
+                a, b, c = (op.value for op in instr.operands)
+                instr.opcode = Opcode.CONST
+                instr.operands = [Imm(a * b + c)]
+                known[instr.dst] = a * b + c
+                rewrites += 1
+    return rewrites
+
+
+def fold_module(module):
+    return sum(fold_function(fn) for fn in module)

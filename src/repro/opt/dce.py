@@ -1,0 +1,85 @@
+"""Dead code elimination.
+
+Removes instructions whose results are never used and that have no side
+effects. Side-effecting opcodes — memory writes, atomics, barriers,
+control flow, calls, markers — are always kept; ``rand`` is also kept
+because it advances the per-thread RNG stream (removing one would shift
+every later draw and change results).
+
+Liveness is computed with the generic backward solver over registers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg_utils import CFGView
+from repro.analysis.dataflow import solve_backward
+from repro.ir.instructions import BARRIER_OPS, Opcode, Reg
+
+#: Opcodes that must never be deleted even if their value is unused.
+_SIDE_EFFECTS = BARRIER_OPS | {
+    Opcode.ST,
+    Opcode.ATOMADD,
+    Opcode.CALL,
+    Opcode.BRA,
+    Opcode.CBR,
+    Opcode.RET,
+    Opcode.EXIT,
+    Opcode.BMOV,
+    Opcode.PREDICT,
+    Opcode.WARPSYNC,
+    Opcode.DELAY,
+    Opcode.RAND,
+}
+
+
+def _block_effects(block):
+    """(gen, kill) for register liveness, scanning bottom-up."""
+    gen, kill = set(), set()
+    for instr in reversed(block.instructions):
+        for reg in instr.defs():
+            kill.add(reg)
+            gen.discard(reg)
+        for reg in instr.uses():
+            gen.add(reg)
+            kill.discard(reg)
+    return gen, kill
+
+
+def eliminate_dead_code(function, max_iterations=10):
+    """Iteratively delete dead instructions; returns total removed."""
+    removed_total = 0
+    for _ in range(max_iterations):
+        view = CFGView.of_function(function)
+        gen, kill = {}, {}
+        for block in function.blocks:
+            gen[block.name], kill[block.name] = _block_effects(block)
+        result = solve_backward(view, gen, kill)
+        removed = 0
+        for block in function.blocks:
+            live = set(result.out_of(block.name))
+            kept = []
+            for instr in reversed(block.instructions):
+                dead = (
+                    instr.dst is not None
+                    and instr.dst not in live
+                    and instr.opcode not in _SIDE_EFFECTS
+                )
+                if dead:
+                    removed += 1
+                else:
+                    kept.append(instr)
+                    for reg in instr.defs():
+                        live.discard(reg)
+                    for reg in instr.uses():
+                        if isinstance(reg, Reg):
+                            live.add(reg)
+            kept.reverse()
+            block.instructions = kept
+        removed_total += removed
+        if removed == 0:
+            break
+    return removed_total
+
+
+def dce_module(module):
+    return sum(eliminate_dead_code(fn) for fn in module)

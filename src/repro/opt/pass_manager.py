@@ -1,0 +1,68 @@
+"""Pass manager: named pass pipelines over modules.
+
+The standard pipeline (``optimize_module``) runs constant folding, DCE and
+CFG simplification to a fixpoint, verifying after each pass. It is safe to
+run either before the reconvergence pipeline (labels and ``predict``
+directives are anchors the passes preserve) or after it (barrier ops are
+side effects that never fold or die).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.verifier import verify_module
+from repro.opt.constfold import fold_module
+from repro.opt.dce import dce_module
+from repro.opt.simplify_cfg import simplify_module
+
+STANDARD_PASSES = (
+    ("constfold", fold_module),
+    ("dce", dce_module),
+    ("simplify-cfg", simplify_module),
+)
+
+
+@dataclass
+class OptReport:
+    """Per-pass change counts across pipeline iterations."""
+
+    iterations: int = 0
+    changes: dict = field(default_factory=dict)   # pass name -> total count
+
+    @property
+    def total_changes(self):
+        return sum(self.changes.values())
+
+    def describe(self):
+        parts = [f"{name}: {count}" for name, count in self.changes.items()]
+        return f"{self.iterations} iteration(s); " + ", ".join(parts)
+
+
+class PassManager:
+    """Runs a sequence of module passes to a fixpoint."""
+
+    def __init__(self, passes=STANDARD_PASSES, verify=True, max_iterations=5):
+        self.passes = list(passes)
+        self.verify = verify
+        self.max_iterations = max_iterations
+
+    def run(self, module):
+        report = OptReport(changes={name: 0 for name, _ in self.passes})
+        for _ in range(self.max_iterations):
+            round_changes = 0
+            for name, pass_fn in self.passes:
+                count = pass_fn(module)
+                report.changes[name] += count
+                round_changes += count
+                if self.verify:
+                    verify_module(module)
+            report.iterations += 1
+            if round_changes == 0:
+                break
+        return report
+
+
+def optimize_module(module, **kwargs):
+    """Run the standard pipeline in place; returns an OptReport."""
+    return PassManager(**kwargs).run(module)

@@ -1,0 +1,134 @@
+"""CFG simplification.
+
+Three clean-ups, each applied to a fixpoint:
+
+* *branch folding* — ``cbr`` on a constant predicate becomes ``bra``;
+* *jump threading* — an empty block that only branches onward is bypassed
+  (unless it carries a reconvergence ``label`` or other attributes: those
+  blocks are anchors for predictions and must survive);
+* *block merging* — a block with a single ``bra`` successor whose target
+  has a single predecessor is merged with it (same attribute guard).
+
+Unreachable blocks are dropped at the end.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg_utils import CFGView, reachable_from
+from repro.ir.instructions import BlockRef, Imm, Instruction, Opcode
+
+
+def _is_anchor(block):
+    """Blocks the passes must not remove or merge away."""
+    return bool(block.attrs)
+
+
+def _fold_constant_branches(function):
+    changed = 0
+    for block in function.blocks:
+        term = block.terminator
+        if term is None or term.opcode is not Opcode.CBR:
+            continue
+        pred = term.operands[0]
+        if isinstance(pred, Imm):
+            target = term.operands[1] if pred.value != 0 else term.operands[2]
+            block.instructions[-1] = Instruction(
+                Opcode.BRA, operands=[BlockRef(target.name)]
+            )
+            changed += 1
+        elif term.operands[1].name == term.operands[2].name:
+            block.instructions[-1] = Instruction(
+                Opcode.BRA, operands=[BlockRef(term.operands[1].name)]
+            )
+            changed += 1
+    return changed
+
+
+def _thread_jumps(function):
+    """Bypass trivial bra-only blocks."""
+    changed = 0
+    trivial = {}
+    for block in function.blocks:
+        if (
+            len(block.instructions) == 1
+            and block.terminator is not None
+            and block.terminator.opcode is Opcode.BRA
+            and not _is_anchor(block)
+            and block is not function.entry
+        ):
+            target = block.terminator.operands[0].name
+            if target != block.name:
+                trivial[block.name] = target
+    if not trivial:
+        return 0
+
+    def resolve(name, seen=None):
+        seen = seen or set()
+        while name in trivial and name not in seen:
+            seen.add(name)
+            name = trivial[name]
+        return name
+
+    for block in function.blocks:
+        term = block.terminator
+        if term is None:
+            continue
+        for target in term.block_targets():
+            final = resolve(target)
+            if final != target:
+                term.replace_block_target(target, final)
+                changed += 1
+    return changed
+
+
+def _merge_straightline(function):
+    """Merge a -> b when a ends in bra b and b has exactly one pred."""
+    changed = 0
+    preds = function.predecessors()
+    for block in list(function.blocks):
+        term = block.terminator
+        if term is None or term.opcode is not Opcode.BRA:
+            continue
+        target_name = term.operands[0].name
+        if target_name == block.name:
+            continue
+        target = function.block(target_name)
+        if _is_anchor(target) or target is function.entry:
+            continue
+        if preds[target_name] != [block.name]:
+            continue
+        block.instructions.pop()  # the bra
+        block.instructions.extend(target.instructions)
+        function.remove_block(target_name)
+        changed += 1
+        preds = function.predecessors()
+    return changed
+
+
+def _drop_unreachable(function):
+    view = CFGView.of_function(function)
+    keep = reachable_from(view)
+    dropped = 0
+    for block in list(function.blocks):
+        if block.name not in keep:
+            function.remove_block(block.name)
+            dropped += 1
+    return dropped
+
+
+def simplify_function(function, max_iterations=10):
+    """Apply all simplifications to a fixpoint; returns total changes."""
+    total = 0
+    for _ in range(max_iterations):
+        changed = _fold_constant_branches(function)
+        changed += _thread_jumps(function)
+        changed += _drop_unreachable(function)
+        changed += _merge_straightline(function)
+        total += changed
+        if changed == 0:
+            break
+    return total
+
+
+def simplify_module(module):
+    return sum(simplify_function(fn) for fn in module)

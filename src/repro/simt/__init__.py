@@ -1,0 +1,48 @@
+"""Volta-style SIMT warp simulator with convergence barriers."""
+
+from repro.simt.barrier_state import ALL_MEMBERS, BarrierFile, ConvergenceBarrier
+from repro.simt.costs import DEFAULT_COST_MODEL, CostModel
+from repro.simt.executor import Executor
+from repro.simt.machine import GPUMachine, LaunchResult
+from repro.simt.memory import GlobalMemory
+from repro.simt.profiler import BlockProfile, Profiler
+from repro.simt.rng import XorShift32, mix_seed
+from repro.simt.reference import run_reference_launch, run_reference_thread
+from repro.simt.stack_machine import StackGPUMachine
+from repro.simt.scheduler import (
+    SCHEDULERS,
+    ConvergenceScheduler,
+    OldestFirstScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+from repro.simt.warp import WARP_SIZE, Frame, Thread, ThreadState, Warp
+
+__all__ = [
+    "ALL_MEMBERS",
+    "BarrierFile",
+    "BlockProfile",
+    "ConvergenceBarrier",
+    "ConvergenceScheduler",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Executor",
+    "Frame",
+    "GPUMachine",
+    "GlobalMemory",
+    "LaunchResult",
+    "OldestFirstScheduler",
+    "Profiler",
+    "RoundRobinScheduler",
+    "SCHEDULERS",
+    "StackGPUMachine",
+    "Thread",
+    "ThreadState",
+    "WARP_SIZE",
+    "Warp",
+    "XorShift32",
+    "make_scheduler",
+    "mix_seed",
+    "run_reference_launch",
+    "run_reference_thread",
+]

@@ -1,0 +1,133 @@
+"""Warp convergence-barrier state (Volta BSSY / BSYNC / BREAK semantics).
+
+Each warp owns a :class:`BarrierFile` mapping barrier names to
+:class:`ConvergenceBarrier` records. Semantics (Section 2 of the paper):
+
+* ``join`` (BSSY): the thread becomes a member. Re-joining is idempotent.
+* ``park`` (BSYNC): the thread waits. A *hard* wait releases the full
+  membership when every member is parked.
+* ``park`` with a threshold (``bsync.soft``, Section 4.6): the parked pool
+  releases as soon as it reaches the threshold, or when the whole
+  membership is parked (threshold unsatisfiable by more arrivals).
+* ``withdraw`` (BREAK): removes a thread from the membership; removal can
+  complete a release for the remaining parked members.
+* thread exit withdraws from every barrier (hardware drains exited lanes).
+
+Releases *clear the released threads' membership*: a thread that expects to
+wait again must re-join (the paper's ``RejoinBarrier``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+#: Sentinel threshold meaning "wait for all members" (hard barrier).
+ALL_MEMBERS = None
+
+
+class ConvergenceBarrier:
+    """Membership and parked sets for one named barrier."""
+
+    __slots__ = ("name", "members", "parked", "thresholds")
+
+    def __init__(self, name):
+        self.name = name
+        self.members = set()      # lane ids that joined and have not cleared
+        self.parked = set()       # subset of members currently waiting
+        self.thresholds = {}      # lane -> threshold (None for hard waits)
+
+    def join(self, lane):
+        self.members.add(lane)
+
+    def withdraw(self, lane):
+        self.members.discard(lane)
+        self.parked.discard(lane)
+        self.thresholds.pop(lane, None)
+
+    def park(self, lane, threshold=ALL_MEMBERS):
+        if lane not in self.members:
+            # Waiting on a barrier you are not part of is a no-op in
+            # hardware; the caller treats this as pass-through.
+            return False
+        self.parked.add(lane)
+        self.thresholds[lane] = threshold
+        return True
+
+    def releasable(self):
+        """The set of lanes to release now, or empty set."""
+        if not self.parked:
+            return set()
+        if self.parked == self.members:
+            return set(self.parked)
+        soft = [t for t in self.thresholds.values() if t is not ALL_MEMBERS]
+        if soft and len(self.parked) >= min(soft):
+            return set(self.parked)
+        return set()
+
+    def release(self, lanes):
+        """Clear ``lanes`` out of the barrier (they proceed past their wait)."""
+        for lane in lanes:
+            if lane not in self.parked:
+                raise SimulationError(
+                    f"releasing lane {lane} not parked on barrier {self.name}"
+                )
+            self.members.discard(lane)
+            self.parked.discard(lane)
+            self.thresholds.pop(lane, None)
+
+    @property
+    def arrived_count(self):
+        """arrivedThreads() of Figure 6: members that have joined."""
+        return len(self.members)
+
+    def __repr__(self):
+        return (
+            f"<Barrier {self.name} members={sorted(self.members)} "
+            f"parked={sorted(self.parked)}>"
+        )
+
+
+class BarrierFile:
+    """All convergence barriers of one warp, created on first use."""
+
+    def __init__(self):
+        self._barriers = {}
+
+    def get(self, name):
+        barrier = self._barriers.get(name)
+        if barrier is None:
+            barrier = ConvergenceBarrier(name)
+            self._barriers[name] = barrier
+        return barrier
+
+    def withdraw_from_all(self, lane):
+        """Remove an exiting thread from every barrier; returns barriers
+        whose release condition may have newly become true."""
+        touched = []
+        for barrier in self._barriers.values():
+            if lane in barrier.members or lane in barrier.parked:
+                barrier.withdraw(lane)
+                touched.append(barrier)
+        return touched
+
+    def all_releasable(self):
+        """(barrier, lanes) pairs whose release condition currently holds."""
+        result = []
+        for barrier in self._barriers.values():
+            lanes = barrier.releasable()
+            if lanes:
+                result.append((barrier, lanes))
+        return result
+
+    def parked_anywhere(self):
+        """All lanes parked on any barrier."""
+        lanes = set()
+        for barrier in self._barriers.values():
+            lanes |= barrier.parked
+        return lanes
+
+    def barriers(self):
+        return list(self._barriers.values())
+
+    def __contains__(self, name):
+        return name in self._barriers

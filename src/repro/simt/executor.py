@@ -1,0 +1,300 @@
+"""Warp-level instruction execution.
+
+The executor applies one instruction to a group of threads that share a PC,
+charging one issue slot (the SIMT execution model: one instruction, many
+threads). Per-thread effects — register writes, branch targets, barrier
+membership — are applied lane by lane in lane order, which makes atomics
+deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+from repro.ir.instructions import Barrier, BlockRef, FuncRef, Imm, Opcode, Reg
+from repro.simt.barrier_state import ALL_MEMBERS
+
+_WARPSYNC_BARRIER = "__warpsync__"
+
+
+def _as_int(value):
+    return int(value)
+
+
+def _truthy(value):
+    return value != 0
+
+
+_BINARY_EVAL = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: lambda a, b: a / b if b != 0 else 0.0,
+    Opcode.REM: lambda a, b: _as_int(a) % _as_int(b) if _as_int(b) != 0 else 0,
+    Opcode.MIN: min,
+    Opcode.MAX: max,
+    Opcode.AND: lambda a, b: _as_int(a) & _as_int(b),
+    Opcode.OR: lambda a, b: _as_int(a) | _as_int(b),
+    Opcode.XOR: lambda a, b: _as_int(a) ^ _as_int(b),
+    Opcode.SHL: lambda a, b: _as_int(a) << _as_int(b),
+    Opcode.SHR: lambda a, b: _as_int(a) >> _as_int(b),
+    Opcode.CMPLT: lambda a, b: 1 if a < b else 0,
+    Opcode.CMPLE: lambda a, b: 1 if a <= b else 0,
+    Opcode.CMPGT: lambda a, b: 1 if a > b else 0,
+    Opcode.CMPGE: lambda a, b: 1 if a >= b else 0,
+    Opcode.CMPEQ: lambda a, b: 1 if a == b else 0,
+    Opcode.CMPNE: lambda a, b: 1 if a != b else 0,
+}
+
+_UNARY_EVAL = {
+    Opcode.MOV: lambda a: a,
+    Opcode.NEG: lambda a: -a,
+    Opcode.NOT: lambda a: 0 if _truthy(a) else 1,
+    Opcode.SQRT: lambda a: math.sqrt(a) if a > 0 else 0.0,
+    Opcode.SIN: math.sin,
+    Opcode.COS: math.cos,
+    Opcode.EXP: lambda a: math.exp(min(a, 60.0)),
+    Opcode.LOG: lambda a: math.log(a) if a > 0 else 0.0,
+    Opcode.FLOOR: lambda a: int(math.floor(a)),
+    Opcode.ABS: abs,
+}
+
+
+class Executor:
+    """Executes instructions for thread groups of one launch."""
+
+    def __init__(self, module, memory, cost_model, profiler):
+        self.module = module
+        self.memory = memory
+        self.cost_model = cost_model
+        self.profiler = profiler
+        # Program order for scheduler tie-breaking and fetches.
+        self._block_pos = {
+            fn.name: {block.name: pos for pos, block in enumerate(fn.blocks)}
+            for fn in module
+        }
+
+    # ------------------------------------------------------------------
+    def program_order(self, pc):
+        function, block, index = pc
+        return (function, self._block_pos[function][block], index)
+
+    def fetch(self, pc):
+        function, block, index = pc
+        instructions = self.module.function(function).block(block).instructions
+        if index >= len(instructions):
+            raise SimulationError(
+                f"PC past end of block @{function}/{block}:{index} "
+                "(missing terminator?)"
+            )
+        return instructions[index]
+
+    def _value(self, thread, operand):
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, Reg):
+            return thread.frame.read(operand)
+        if isinstance(operand, Barrier):
+            return operand.name
+        raise SimulationError(f"cannot evaluate operand {operand!r}")
+
+    def _barrier_name(self, thread, operand):
+        """Resolve a barrier operand: literal barrier or barrier register."""
+        name = self._value(thread, operand)
+        if not isinstance(name, str):
+            raise SimulationError(
+                f"barrier register holds non-barrier value {name!r}"
+            )
+        return name
+
+    # ------------------------------------------------------------------
+    def execute(self, warp, pc, group):
+        """Execute the instruction at ``pc`` for ``group``; returns cycles."""
+        instr = self.fetch(pc)
+        opcode = instr.opcode
+        cycles = self.cost_model.latency(opcode)
+
+        if opcode in _BINARY_EVAL:
+            fn = _BINARY_EVAL[opcode]
+            for thread in group:
+                a = self._value(thread, instr.operands[0])
+                b = self._value(thread, instr.operands[1])
+                thread.frame.write(instr.dst, fn(a, b))
+                thread.advance()
+        elif opcode in _UNARY_EVAL:
+            fn = _UNARY_EVAL[opcode]
+            for thread in group:
+                thread.frame.write(
+                    instr.dst, fn(self._value(thread, instr.operands[0]))
+                )
+                thread.advance()
+        elif opcode is Opcode.CONST:
+            value = instr.operands[0].value
+            for thread in group:
+                thread.frame.write(instr.dst, value)
+                thread.advance()
+        elif opcode is Opcode.SEL:
+            for thread in group:
+                pred = self._value(thread, instr.operands[0])
+                picked = instr.operands[1] if _truthy(pred) else instr.operands[2]
+                thread.frame.write(instr.dst, self._value(thread, picked))
+                thread.advance()
+        elif opcode is Opcode.FMA:
+            for thread in group:
+                a = self._value(thread, instr.operands[0])
+                b = self._value(thread, instr.operands[1])
+                c = self._value(thread, instr.operands[2])
+                thread.frame.write(instr.dst, a * b + c)
+                thread.advance()
+        elif opcode is Opcode.TID:
+            for thread in group:
+                thread.frame.write(instr.dst, thread.tid)
+                thread.advance()
+        elif opcode is Opcode.LANE:
+            for thread in group:
+                thread.frame.write(instr.dst, thread.lane)
+                thread.advance()
+        elif opcode is Opcode.WARPID:
+            for thread in group:
+                thread.frame.write(instr.dst, thread.warp_id)
+                thread.advance()
+        elif opcode is Opcode.RAND:
+            for thread in group:
+                thread.frame.write(instr.dst, thread.rng.uniform())
+                thread.advance()
+        elif opcode is Opcode.LD:
+            addresses = []
+            for thread in group:
+                addr = self._value(thread, instr.operands[0])
+                addresses.append(addr)
+                thread.frame.write(instr.dst, self.memory.load(addr))
+                thread.advance()
+            cycles = self.cost_model.memory_cost(opcode, addresses)
+        elif opcode is Opcode.ST:
+            addresses = []
+            for thread in group:
+                addr = self._value(thread, instr.operands[0])
+                value = self._value(thread, instr.operands[1])
+                addresses.append(addr)
+                self.memory.store(addr, value)
+                thread.store_trace.append((int(addr), value))
+                thread.advance()
+            cycles = self.cost_model.memory_cost(opcode, addresses)
+        elif opcode is Opcode.ATOMADD:
+            addresses = []
+            for thread in group:
+                addr = self._value(thread, instr.operands[0])
+                value = self._value(thread, instr.operands[1])
+                addresses.append(addr)
+                thread.frame.write(instr.dst, self.memory.atom_add(addr, value))
+                thread.advance()
+            cycles = self.cost_model.memory_cost(opcode, addresses)
+        elif opcode is Opcode.BRA:
+            target = instr.operands[0].name
+            for thread in group:
+                thread.jump(target)
+        elif opcode is Opcode.CBR:
+            true_target = instr.operands[1].name
+            false_target = instr.operands[2].name
+            for thread in group:
+                pred = self._value(thread, instr.operands[0])
+                thread.jump(true_target if _truthy(pred) else false_target)
+        elif opcode is Opcode.CALL:
+            callee = self.module.function(instr.operands[0].name)
+            args = instr.operands[1:]
+            for thread in group:
+                values = [self._value(thread, arg) for arg in args]
+                thread.push_frame(callee, instr.dst)
+                for param, value in zip(callee.params, values):
+                    thread.frame.write(param, value)
+        elif opcode is Opcode.RET:
+            for thread in group:
+                value = (
+                    self._value(thread, instr.operands[0])
+                    if instr.operands
+                    else None
+                )
+                if thread.pop_frame(value):
+                    warp.barriers.withdraw_from_all(thread.lane)
+        elif opcode is Opcode.EXIT:
+            for thread in group:
+                thread.exit()
+                warp.barriers.withdraw_from_all(thread.lane)
+        elif opcode is Opcode.BSSY:
+            for thread in group:
+                name = self._barrier_name(thread, instr.operands[0])
+                warp.barriers.get(name).join(thread.lane)
+                thread.advance()
+        elif opcode is Opcode.BSYNC:
+            for thread in group:
+                name = self._barrier_name(thread, instr.operands[0])
+                thread.advance()  # resume past the wait when released
+                if warp.barriers.get(name).park(thread.lane, ALL_MEMBERS):
+                    thread.park(name)
+                # Not a member: hardware pass-through.
+        elif opcode is Opcode.BSYNCSOFT:
+            for thread in group:
+                name = self._barrier_name(thread, instr.operands[0])
+                threshold = int(self._value(thread, instr.operands[1]))
+                thread.advance()
+                if threshold <= 1:
+                    # Trivial threshold: never worth parking.
+                    continue
+                if warp.barriers.get(name).park(thread.lane, threshold):
+                    thread.park(name)
+        elif opcode is Opcode.BBREAK:
+            for thread in group:
+                name = self._barrier_name(thread, instr.operands[0])
+                warp.barriers.get(name).withdraw(thread.lane)
+                thread.advance()
+        elif opcode is Opcode.BMOV:
+            for thread in group:
+                thread.frame.write(
+                    instr.dst, self._barrier_name(thread, instr.operands[0])
+                )
+                thread.advance()
+        elif opcode is Opcode.BARCNT:
+            for thread in group:
+                name = self._barrier_name(thread, instr.operands[0])
+                thread.frame.write(
+                    instr.dst, warp.barriers.get(name).arrived_count
+                )
+                thread.advance()
+        elif opcode is Opcode.WARPSYNC:
+            barrier = warp.barriers.get(_WARPSYNC_BARRIER)
+            # Every live thread participates in a full-warp sync.
+            for live in warp.live_threads():
+                barrier.join(live.lane)
+            for thread in group:
+                thread.advance()
+                if barrier.park(thread.lane, ALL_MEMBERS):
+                    thread.park(_WARPSYNC_BARRIER)
+        elif opcode in (Opcode.NOP, Opcode.PREDICT):
+            for thread in group:
+                thread.advance()
+        elif opcode is Opcode.DELAY:
+            cycles = int(instr.operands[0].value)
+            for thread in group:
+                thread.advance()
+        else:
+            raise SimulationError(f"unhandled opcode {opcode.value}")
+
+        for thread in group:
+            thread.retired += 1
+
+        self.profiler.record(
+            warp.warp_id,
+            pc,
+            opcode,
+            active=len(group),
+            cycles=cycles,
+            is_barrier_op=instr.is_barrier_op,
+            lanes=(
+                frozenset(t.lane for t in group)
+                if self.profiler.trace is not None
+                else None
+            ),
+        )
+        warp.cycles += cycles
+        return cycles

@@ -1,0 +1,144 @@
+"""The GPU machine: kernel launches, warp interleaving, deadlock detection.
+
+Warps execute independently (their cycle counters advance in parallel);
+the machine interleaves them round-robin one issue at a time so that
+cross-warp atomics are deterministic. A launch returns a
+:class:`LaunchResult` with the profiler, final memory, and per-thread
+traces used by correctness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeadlockError, LaunchError, SimulationError
+from repro.simt.costs import DEFAULT_COST_MODEL
+from repro.simt.executor import Executor
+from repro.simt.memory import GlobalMemory
+from repro.simt.profiler import Profiler
+from repro.simt.scheduler import make_scheduler
+from repro.simt.warp import WARP_SIZE, Thread, Warp
+
+
+@dataclass
+class LaunchResult:
+    """Everything observable about one kernel launch."""
+
+    kernel: str
+    n_threads: int
+    profiler: Profiler
+    memory: GlobalMemory
+    threads: list
+
+    @property
+    def simt_efficiency(self):
+        return self.profiler.simt_efficiency
+
+    @property
+    def cycles(self):
+        return self.profiler.total_cycles
+
+    def store_traces(self):
+        """Per-thread ordered (addr, value) store lists, keyed by tid."""
+        return {t.tid: list(t.store_trace) for t in self.threads}
+
+    def retired_per_thread(self):
+        return {t.tid: t.retired for t in self.threads}
+
+
+class GPUMachine:
+    """Executes kernels of a module under a scheduler and cost model."""
+
+    def __init__(
+        self,
+        module,
+        cost_model=None,
+        scheduler="convergence",
+        seed=2020,
+        max_issues=20_000_000,
+        trace=False,
+    ):
+        self.module = module
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.scheduler_name = scheduler
+        self.seed = seed
+        self.max_issues = max_issues
+        # Record (warp, block, lanes) per issue for timeline rendering.
+        self.trace = trace
+
+    def launch(self, kernel_name, n_threads, args=(), memory=None):
+        kernel = self.module.function(kernel_name)
+        if not kernel.is_kernel:
+            raise LaunchError(f"@{kernel_name} is not a kernel")
+        if n_threads <= 0:
+            raise LaunchError(f"launch needs at least one thread, got {n_threads}")
+        if len(args) != len(kernel.params):
+            raise LaunchError(
+                f"@{kernel_name} takes {len(kernel.params)} arguments, "
+                f"got {len(args)}"
+            )
+        memory = memory if memory is not None else GlobalMemory()
+        profiler = Profiler(trace=self.trace)
+        executor = Executor(self.module, memory, self.cost_model, profiler)
+        scheduler = make_scheduler(self.scheduler_name)
+
+        warps = []
+        all_threads = []
+        for base in range(0, n_threads, WARP_SIZE):
+            warp_id = base // WARP_SIZE
+            threads = [
+                Thread(tid, tid - base, warp_id, kernel, args, self.seed)
+                for tid in range(base, min(base + WARP_SIZE, n_threads))
+            ]
+            warps.append(Warp(warp_id, threads))
+            all_threads.extend(threads)
+
+        issues = 0
+        live_warps = list(warps)
+        while live_warps:
+            progressed = []
+            for warp in live_warps:
+                if self._step(warp, executor, scheduler):
+                    issues += 1
+                    if issues > self.max_issues:
+                        raise SimulationError(
+                            f"@{kernel_name} exceeded {self.max_issues} issue "
+                            "slots; likely an infinite loop"
+                        )
+                if not warp.done:
+                    progressed.append(warp)
+            live_warps = progressed
+
+        return LaunchResult(
+            kernel=kernel_name,
+            n_threads=n_threads,
+            profiler=profiler,
+            memory=memory,
+            threads=all_threads,
+        )
+
+    # ------------------------------------------------------------------
+    def _step(self, warp, executor, scheduler):
+        """Issue one instruction for ``warp``; returns True if issued."""
+        groups = warp.groups()
+        if not groups:
+            warp.drain_releasable()
+            groups = warp.groups()
+        if not groups:
+            if not warp.live_threads():
+                warp.done = True
+                return False
+            waiting = [
+                (t.lane, t.waiting_on) for t in warp.threads if not t.is_exited
+            ]
+            raise DeadlockError(
+                f"warp {warp.warp_id}: no runnable threads and no releasable "
+                f"barrier (conflicting barriers? see Section 4.3). "
+                f"Waiting lanes: {waiting}",
+                warp_id=warp.warp_id,
+                waiting=waiting,
+            )
+        pc = scheduler.pick(groups, executor.program_order)
+        executor.execute(warp, pc, groups[pc])
+        warp.drain_releasable()
+        return True

@@ -1,0 +1,70 @@
+"""Flat global memory shared by all warps of a launch.
+
+Addresses are word indices (not bytes). A simple bump allocator hands out
+array regions so workloads can build lookup tables; the coalescing cost is
+computed by the :class:`repro.simt.costs.CostModel`, not here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class GlobalMemory:
+    """Word-addressed global memory with a bump allocator."""
+
+    def __init__(self):
+        self._cells = {}
+        self._next_free = 0
+        self._regions = {}
+
+    def alloc(self, size, name=None, fill=0):
+        """Reserve ``size`` words; returns the base address."""
+        if size < 0:
+            raise SimulationError(f"negative allocation size {size}")
+        base = self._next_free
+        self._next_free += size
+        if fill != 0:
+            for offset in range(size):
+                self._cells[base + offset] = fill
+        if name is not None:
+            self._regions[name] = (base, size)
+        return base
+
+    def alloc_array(self, values, name=None):
+        """Allocate and initialize a region from ``values``."""
+        base = self.alloc(len(values), name=name)
+        for offset, value in enumerate(values):
+            self._cells[base + offset] = value
+        return base
+
+    def region(self, name):
+        """(base, size) of a named region."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise SimulationError(f"no memory region named {name!r}") from None
+
+    def read_region(self, name):
+        base, size = self.region(name)
+        return [self.load(base + i) for i in range(size)]
+
+    def load(self, addr):
+        return self._cells.get(int(addr), 0)
+
+    def store(self, addr, value):
+        self._cells[int(addr)] = value
+
+    def atom_add(self, addr, value):
+        """Atomic fetch-and-add; returns the old value."""
+        key = int(addr)
+        old = self._cells.get(key, 0)
+        self._cells[key] = old + value
+        return old
+
+    def snapshot(self):
+        """Copy of all written cells (for result comparison in tests)."""
+        return dict(self._cells)
+
+    def __len__(self):
+        return len(self._cells)

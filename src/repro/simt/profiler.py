@@ -1,0 +1,97 @@
+"""nvprof-style counters: SIMT efficiency, cycles, per-block profiles.
+
+SIMT efficiency is the average fraction of active lanes per issued warp
+instruction (the metric of Figures 7–9). The per-block visit and activity
+profile feeds the profile-guided variant of the Section 4.5 heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simt.warp import WARP_SIZE
+
+
+@dataclass
+class BlockProfile:
+    """Execution profile of one basic block."""
+
+    issues: int = 0          # issued instructions attributed to the block
+    active_sum: int = 0      # total active lanes over those issues
+    visits: int = 0          # times the block was entered (index 0 issued)
+    cycles: int = 0
+
+    @property
+    def average_active(self):
+        return self.active_sum / self.issues if self.issues else 0.0
+
+
+class Profiler:
+    """Aggregates issue-level counters over an entire launch."""
+
+    def __init__(self, trace=False):
+        self.issued = 0
+        self.active_sum = 0
+        self.cycles_sum = 0
+        self.opcode_counts = {}
+        self.block_profiles = {}    # (function, block) -> BlockProfile
+        self.warp_cycles = {}       # warp_id -> cycles
+        self.barrier_issues = 0
+        #: when tracing, every issue as (warp_id, function, block, lanes)
+        self.trace = [] if trace else None
+
+    def record(self, warp_id, pc, opcode, active, cycles, is_barrier_op=False,
+               lanes=None):
+        function, block, index = pc
+        if self.trace is not None:
+            self.trace.append((warp_id, function, block, lanes or frozenset()))
+        self.issued += 1
+        self.active_sum += active
+        self.cycles_sum += cycles
+        self.opcode_counts[opcode] = self.opcode_counts.get(opcode, 0) + 1
+        key = (function, block)
+        profile = self.block_profiles.get(key)
+        if profile is None:
+            profile = BlockProfile()
+            self.block_profiles[key] = profile
+        profile.issues += 1
+        profile.active_sum += active
+        profile.cycles += cycles
+        if index == 0:
+            profile.visits += 1
+        self.warp_cycles[warp_id] = self.warp_cycles.get(warp_id, 0) + cycles
+        if is_barrier_op:
+            self.barrier_issues += 1
+
+    @property
+    def simt_efficiency(self):
+        """Average active-lane fraction per issued instruction (0..1)."""
+        if self.issued == 0:
+            return 1.0
+        return self.active_sum / (self.issued * WARP_SIZE)
+
+    @property
+    def total_cycles(self):
+        """Kernel runtime: the slowest warp (warps execute in parallel)."""
+        if not self.warp_cycles:
+            return 0
+        return max(self.warp_cycles.values())
+
+    def block_profile(self, function, block):
+        return self.block_profiles.get((function, block), BlockProfile())
+
+    def region_efficiency(self, keys):
+        """SIMT efficiency restricted to a set of (function, block) keys."""
+        issued = sum(self.block_profiles[k].issues for k in keys if k in self.block_profiles)
+        active = sum(self.block_profiles[k].active_sum for k in keys if k in self.block_profiles)
+        if issued == 0:
+            return 1.0
+        return active / (issued * WARP_SIZE)
+
+    def summary(self):
+        return {
+            "issued": self.issued,
+            "cycles": self.total_cycles,
+            "simt_efficiency": self.simt_efficiency,
+            "barrier_issues": self.barrier_issues,
+        }

@@ -1,0 +1,50 @@
+"""Deterministic per-thread random number generation (xorshift32).
+
+Each thread owns an independent stream seeded from (kernel seed, global
+thread id), so results are reproducible across schedulers and transforms —
+the invariant the correctness property tests rely on.
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+
+
+def mix_seed(seed, tid):
+    """SplitMix-style seed derivation; never returns zero."""
+    z = (seed * 0x9E3779B9 + tid * 0x85EBCA6B + 0x165667B1) & _MASK32
+    z ^= z >> 16
+    z = (z * 0x7FEB352D) & _MASK32
+    z ^= z >> 15
+    z = (z * 0x846CA68B) & _MASK32
+    z ^= z >> 16
+    return z or 0xDEADBEEF
+
+
+class XorShift32:
+    """Tiny, fast, deterministic PRNG; uniform() in [0, 1)."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed, tid=0):
+        self.state = mix_seed(seed, tid)
+
+    def next_u32(self):
+        x = self.state
+        x ^= (x << 13) & _MASK32
+        x ^= x >> 17
+        x ^= (x << 5) & _MASK32
+        self.state = x
+        return x
+
+    def uniform(self):
+        return self.next_u32() / 4294967296.0
+
+    def randint(self, low, high):
+        """Uniform integer in [low, high] inclusive."""
+        span = high - low + 1
+        return low + self.next_u32() % span
+
+    def fork(self, salt):
+        """An independent stream derived from this one (for sub-tasks)."""
+        return XorShift32(self.next_u32() ^ salt)

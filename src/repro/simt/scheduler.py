@@ -1,0 +1,81 @@
+"""Warp schedulers.
+
+The default :class:`ConvergenceScheduler` models Volta's convergence
+optimizer: among the groups of runnable threads that share a PC, it issues
+the largest group, "grouping together threads that execute the same code in
+parallel for maximum convergence" (Section 2). Ties break deterministically
+by program order, so simulations are reproducible.
+
+:class:`RoundRobinScheduler` and :class:`OldestFirstScheduler` are
+alternative policies used by the simulator tests and the scheduling
+ablation bench — the correctness property (per-thread results are
+schedule-invariant) is verified across all of them.
+"""
+
+from __future__ import annotations
+
+
+class SchedulerBase:
+    """Picks which PC-group a warp issues next."""
+
+    name = "base"
+
+    def pick(self, groups, program_order):
+        """Return the chosen PC key.
+
+        ``groups`` maps pc -> list of threads; ``program_order`` maps pc to a
+        sortable program-position tuple.
+        """
+        raise NotImplementedError
+
+
+class ConvergenceScheduler(SchedulerBase):
+    """Largest group first; ties broken by program order then lowest lane."""
+
+    name = "convergence"
+
+    def pick(self, groups, program_order):
+        def key(pc):
+            threads = groups[pc]
+            return (-len(threads), program_order(pc), threads[0].lane)
+
+        return min(groups, key=key)
+
+
+class OldestFirstScheduler(SchedulerBase):
+    """Earliest program position first (depth-first serialization)."""
+
+    name = "oldest-first"
+
+    def pick(self, groups, program_order):
+        return min(groups, key=lambda pc: (program_order(pc), -len(groups[pc])))
+
+
+class RoundRobinScheduler(SchedulerBase):
+    """Rotates across groups; exists to stress schedule-invariance tests."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._counter = 0
+
+    def pick(self, groups, program_order):
+        ordered = sorted(groups, key=program_order)
+        choice = ordered[self._counter % len(ordered)]
+        self._counter += 1
+        return choice
+
+
+SCHEDULERS = {
+    cls.name: cls
+    for cls in (ConvergenceScheduler, OldestFirstScheduler, RoundRobinScheduler)
+}
+
+
+def make_scheduler(name="convergence"):
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+        ) from None

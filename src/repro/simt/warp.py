@@ -1,0 +1,182 @@
+"""Threads, frames, and warps.
+
+A thread's program counter is the top :class:`Frame` of its call stack:
+``(function, block name, instruction index)``. The scheduler groups threads
+by that PC, which is how threads arriving at a common function body from
+different call sites converge (Section 4.4) — hardware converges on PC, not
+on call history.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SimulationError
+from repro.simt.barrier_state import BarrierFile
+from repro.simt.rng import XorShift32
+
+WARP_SIZE = 32
+
+
+class ThreadState(enum.Enum):
+    RUNNABLE = "runnable"
+    WAITING = "waiting"
+    EXITED = "exited"
+
+
+class Frame:
+    """One activation record: function, PC, registers, return linkage."""
+
+    __slots__ = ("function", "block_name", "index", "regs", "ret_dst")
+
+    def __init__(self, function, block_name, index=0, ret_dst=None):
+        self.function = function
+        self.block_name = block_name
+        self.index = index
+        self.regs = {}
+        self.ret_dst = ret_dst
+
+    def pc(self):
+        return (self.function.name, self.block_name, self.index)
+
+    def read(self, reg):
+        try:
+            return self.regs[reg]
+        except KeyError:
+            raise SimulationError(
+                f"read of undefined register %{reg.name} "
+                f"in @{self.function.name}/{self.block_name}"
+            ) from None
+
+    def write(self, reg, value):
+        self.regs[reg] = value
+
+
+class Thread:
+    """One SIMT thread (lane) with its call stack and RNG stream."""
+
+    def __init__(self, tid, lane, warp_id, kernel, args, seed):
+        self.tid = tid
+        self.lane = lane
+        self.warp_id = warp_id
+        self.state = ThreadState.RUNNABLE
+        self.rng = XorShift32(seed, tid)
+        self.frames = [Frame(kernel, kernel.entry.name)]
+        for param, value in zip(kernel.params, args):
+            self.frames[0].write(param, value)
+        self.waiting_on = None       # barrier name while WAITING
+        self.store_trace = []        # (addr, value) pairs, for result checks
+        self.retired = 0             # per-thread executed instruction count
+
+    @property
+    def frame(self):
+        if not self.frames:
+            raise SimulationError(f"thread {self.tid} has no active frame")
+        return self.frames[-1]
+
+    def pc(self):
+        return self.frame.pc()
+
+    def advance(self):
+        self.frame.index += 1
+
+    def jump(self, block_name):
+        self.frame.block_name = block_name
+        self.frame.index = 0
+
+    def push_frame(self, function, ret_dst):
+        # The caller's frame stays at the call instruction; the return path
+        # advances it past the call.
+        self.frames.append(Frame(function, function.entry.name, ret_dst=ret_dst))
+
+    def pop_frame(self, value=None):
+        """Return from the current function; returns True if thread exited."""
+        finished = self.frames.pop()
+        if not self.frames:
+            self.state = ThreadState.EXITED
+            return True
+        caller = self.frame
+        if finished.ret_dst is not None:
+            caller.write(finished.ret_dst, value if value is not None else 0)
+        caller.index += 1  # step past the call instruction
+        return False
+
+    def exit(self):
+        self.frames.clear()
+        self.state = ThreadState.EXITED
+
+    def park(self, barrier_name):
+        self.state = ThreadState.WAITING
+        self.waiting_on = barrier_name
+
+    def unpark(self):
+        self.state = ThreadState.RUNNABLE
+        self.waiting_on = None
+
+    @property
+    def is_runnable(self):
+        return self.state is ThreadState.RUNNABLE
+
+    @property
+    def is_exited(self):
+        return self.state is ThreadState.EXITED
+
+    def __repr__(self):
+        return f"<Thread tid={self.tid} lane={self.lane} {self.state.value}>"
+
+
+class Warp:
+    """A co-scheduled group of up to WARP_SIZE threads."""
+
+    def __init__(self, warp_id, threads):
+        if len(threads) > WARP_SIZE:
+            raise SimulationError(f"warp of {len(threads)} threads (max {WARP_SIZE})")
+        self.warp_id = warp_id
+        self.threads = threads
+        self.barriers = BarrierFile()
+        self.cycles = 0
+        self.done = False
+
+    def lane(self, lane_id):
+        return self.threads[lane_id]
+
+    def live_threads(self):
+        return [t for t in self.threads if not t.is_exited]
+
+    def runnable_threads(self):
+        return [t for t in self.threads if t.is_runnable]
+
+    def groups(self):
+        """Runnable threads grouped by PC, as {pc: [threads by lane]}."""
+        groups = {}
+        for thread in self.threads:
+            if thread.is_runnable:
+                groups.setdefault(thread.pc(), []).append(thread)
+        return groups
+
+    def release(self, barrier, lanes):
+        """Release parked lanes from a barrier and make them runnable."""
+        barrier.release(lanes)
+        for lane_id in lanes:
+            thread = self.threads[lane_id]
+            if thread.state is not ThreadState.WAITING:
+                raise SimulationError(
+                    f"lane {lane_id} released but not waiting "
+                    f"(state {thread.state.value})"
+                )
+            thread.unpark()
+
+    def drain_releasable(self):
+        """Release every barrier whose condition holds; returns #released."""
+        released = 0
+        progress = True
+        while progress:
+            progress = False
+            for barrier, lanes in self.barriers.all_releasable():
+                self.release(barrier, lanes)
+                released += len(lanes)
+                progress = True
+        return released
+
+    def __repr__(self):
+        return f"<Warp {self.warp_id} ({len(self.threads)} threads)>"

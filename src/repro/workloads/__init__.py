@@ -1,0 +1,47 @@
+"""Table 2 workloads plus the Figure 2(c) microbenchmark and §5.4 corpus."""
+
+from repro.workloads import (  # noqa: F401  (imports populate the registry)
+    gpu_mcml,
+    mc_gpu,
+    mcb,
+    meiyamd5,
+    micro_funccall,
+    mummer,
+    optix_trace,
+    pathtracer,
+    rsbench,
+    xsbench,
+)
+from repro.workloads.base import (
+    REGISTRY,
+    Workload,
+    WorkloadResult,
+    all_workloads,
+    get_workload,
+    register,
+    workload_names,
+)
+
+#: Workloads evaluated in Figure 7 / Figure 8 (Table 2 order).
+FIGURE7_WORKLOADS = (
+    "rsbench",
+    "xsbench",
+    "mcb",
+    "pathtracer",
+    "mc-gpu",
+    "mummer",
+    "meiyamd5",
+    "optix",
+    "gpu-mcml",
+)
+
+__all__ = [
+    "FIGURE7_WORKLOADS",
+    "REGISTRY",
+    "Workload",
+    "WorkloadResult",
+    "all_workloads",
+    "get_workload",
+    "register",
+    "workload_names",
+]

@@ -1,0 +1,85 @@
+"""CLI: run a single workload. ``python -m repro.workloads rsbench``.
+
+Prints baseline-vs-SR metrics (or a full threshold sweep with --sweep);
+``--list`` shows the registry with each workload's pattern and the
+threshold its "user" picked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.report import format_table
+from repro.workloads.base import get_workload, workload_names, REGISTRY
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="python -m repro.workloads")
+    parser.add_argument("workload", nargs="?", help="workload name")
+    parser.add_argument("--list", action="store_true", help="list workloads")
+    parser.add_argument(
+        "--mode", default="sr", choices=("baseline", "sr", "auto", "none")
+    )
+    parser.add_argument("--threshold", type=int, default=None)
+    parser.add_argument("--sweep", action="store_true", help="threshold sweep")
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--scheduler", default="convergence")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.workload:
+        rows = [
+            (name, cls.pattern, cls.sr_threshold or "hard", cls.description)
+            for name, cls in sorted(REGISTRY.items())
+        ]
+        print(format_table(
+            ["name", "pattern", "threshold", "description"], rows,
+            title="Registered workloads",
+        ))
+        return 0
+
+    if args.workload not in workload_names():
+        print(f"unknown workload {args.workload!r}; try --list", file=sys.stderr)
+        return 1
+    workload = get_workload(args.workload)
+
+    baseline = workload.run(mode="baseline", seed=args.seed, scheduler=args.scheduler)
+    print(f"baseline: eff {baseline.simt_efficiency:.1%}, cycles {baseline.cycles}")
+
+    if args.sweep:
+        rows = []
+        for k in (2, 4, 8, 12, 16, 20, 24, 28, None):
+            result = workload.run(mode="sr", threshold=k, seed=args.seed)
+            rows.append((
+                "hard" if k is None else k,
+                result.simt_efficiency,
+                result.cycles,
+                f"{baseline.cycles / result.cycles:.2f}x",
+            ))
+        print(format_table(
+            ["threshold", "SIMT efficiency", "cycles", "speedup"], rows
+        ))
+        return 0
+
+    threshold = args.threshold if args.threshold is not None else "default"
+    result = workload.run(
+        mode=args.mode, threshold=threshold, seed=args.seed,
+        scheduler=args.scheduler,
+    )
+    print(
+        f"{args.mode:8s}: eff {result.simt_efficiency:.1%}, "
+        f"cycles {result.cycles}, speedup "
+        f"{baseline.cycles / result.cycles:.2f}x "
+        f"(threshold {result.threshold})"
+    )
+    match = (
+        baseline.checksum == result.checksum
+        if workload.deterministic_memory
+        else abs(baseline.checksum - result.checksum) < 1e-2
+    )
+    print(f"results {'match' if match else 'MISMATCH'} the baseline checksum")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""GPU-MCML: photon transport in turbid media (Table 2).
+
+"A benchmark that simulates photon transport" — Monte Carlo modeling of
+light in layered tissue. Each photon performs hop/drop/spin steps (SFU-
+heavy direction sampling) until roulette kills it; surviving a roulette is
+rare but boosts the photon weight, so a few photons live far longer than
+the rest — the heavy tail that makes the PDOM baseline so inefficient here
+(gpu-mcml shows among the largest efficiency gains in Figure 7).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register, repeat_lines
+
+
+@register
+class GPUMcml(Workload):
+    name = "gpu-mcml"
+    description = (
+        "Photon transport in turbid media (MCML); hop/drop/spin loop with "
+        "roulette survival gives very heavy-tailed photon lifetimes"
+    )
+    pattern = "loop-merge"
+    paper_note = "Highly variable inner-loop trip counts (Section 5.2)."
+    kernel_name = "mcml_photon"
+    sr_threshold = None
+    defaults = {
+        "photons_per_thread": 6,
+        "max_steps": 64,
+        "roulette_weight": 0.05,
+        "survive_prob": 0.12,
+        "spin_cost": 16,
+    }
+
+    def source(self):
+        p = self.params
+        spin = repeat_lines("mu = fma(mu, 0.98, cos(mu) * 0.02);", p["spin_cost"] // 2)
+        drop = repeat_lines("absorbed = fma(weight, 0.01, absorbed);", p["spin_cost"] - p["spin_cost"] // 2)
+        return f"""
+kernel mcml_photon(n_photons, layers) {{
+    let photon = tid();
+    let absorbed = 0.0;
+    predict L1;
+    while (photon < n_photons) {{
+        // Prolog: launch the photon.
+        let weight = 1.0;
+        let mu = 0.9;
+        let step = 0;
+        let alive = 1;
+        while (alive > 0) {{
+            // Proposed reconvergence point: one hop/drop/spin step.
+            label L1: step = step + 1;
+            let u = hash01(photon * 419.0 + step * 101.0);
+            let hop = 0.0 - log(u + 0.0001);
+            weight = weight * exp(0.0 - hop * 0.1);
+{spin}
+{drop}
+            if (weight < {p['roulette_weight']}) {{
+                // Russian roulette: a few photons survive with boosted
+                // weight and keep going (the heavy tail).
+                let v = hash01(photon * 733.0 + step * 13.0);
+                if (v < {p['survive_prob']}) {{
+                    weight = weight / {p['survive_prob']};
+                }} else {{
+                    alive = 0;
+                }}
+            }}
+            if (step >= {p['max_steps']}) {{
+                alive = 0;
+            }}
+        }}
+        photon = photon + 32;
+    }}
+    store(layers + tid(), absorbed);
+}}
+"""
+
+    def setup(self, memory):
+        layers = memory.alloc(self.n_threads, name="layers")
+        n_photons = self.params["photons_per_thread"] * self.n_threads
+        return (n_photons, layers)

@@ -1,0 +1,73 @@
+"""MC-GPU: Monte Carlo x-ray transport for CT imaging (Table 2).
+
+"A GPU-accelerated Monte Carlo simulation used to model radiation transport
+of x-rays for CT scans of the human anatomy." Photon histories take a
+variable number of Woodcock-tracking steps through the voxelized anatomy
+(SFU-heavy: exp/log sampling of free flight), terminating on absorption —
+another divergent-trip-count loop fed new photons by thread coarsening.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register, repeat_lines
+
+
+@register
+class MCGPU(Workload):
+    name = "mc-gpu"
+    description = (
+        "Monte Carlo x-ray transport for CT imaging; variable-length photon "
+        "histories (Woodcock tracking with exp/log sampling)"
+    )
+    pattern = "loop-merge"
+    paper_note = "Loop Merge over coarsened photon histories."
+    kernel_name = "mcgpu_photon"
+    sr_threshold = 16
+    defaults = {
+        "photons_per_thread": 7,
+        "max_steps": 40,
+        "absorb_prob": 0.18,
+        "step_cost": 12,   # extra FMA work per step beyond the SFU sampling
+    }
+
+    def source(self):
+        p = self.params
+        extra = repeat_lines("e = fma(e, 0.9993, 0.0004);", p["step_cost"])
+        return f"""
+kernel mcgpu_photon(n_photons, detector) {{
+    let photon = tid();
+    let dose = 0.0;
+    predict L1;
+    while (photon < n_photons) {{
+        // Prolog: spawn the photon (energy, direction).
+        let e = 0.06 + hash01(photon * 3.141592) * 0.08;
+        let step = 0;
+        let alive = 1;
+        while (alive > 0) {{
+            // Proposed reconvergence point: one Woodcock tracking step —
+            // sample free flight (exp/log) and attenuate.
+            label L1: step = step + 1;
+            let u = hash01(photon * 251.0 + step * 37.0);
+            let flight = 0.0 - log(u + 0.0001) * 0.35;
+            e = e * exp(0.0 - flight * 0.02);
+{extra}
+            let v = hash01(photon * 563.0 + step * 11.0);
+            if (v < {p['absorb_prob']}) {{
+                alive = 0;
+            }}
+            if (step >= {p['max_steps']}) {{
+                alive = 0;
+            }}
+        }}
+        // Epilog: tally the deposited dose.
+        dose = dose + e / (step + 0.0);
+        photon = photon + 32;
+    }}
+    store(detector + tid(), dose);
+}}
+"""
+
+    def setup(self, memory):
+        detector = memory.alloc(self.n_threads, name="detector")
+        n_photons = self.params["photons_per_thread"] * self.n_threads
+        return (n_photons, detector)

@@ -1,0 +1,67 @@
+"""MCB: LLNL Monte Carlo Benchmark (Table 2).
+
+"A Monte Carlo benchmark used to test performance of parallel
+architectures. Simulates a simplified variant of the heuristic transport
+equation." Each particle takes a fixed number of flight steps; on a
+randomly divergent subset of steps the particle undergoes an expensive
+collision (scatter + tally). This is the Figure 2(a) *Iteration Delay*
+shape: the divergent condition's then-side is the expensive common code,
+and the predicted reconvergence point sits at its entry.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register, repeat_lines
+
+
+@register
+class MCB(Workload):
+    name = "mcb"
+    description = (
+        "LLNL Monte Carlo transport benchmark; divergent collision events "
+        "inside the particle stepping loop (Iteration Delay)"
+    )
+    pattern = "iteration-delay"
+    paper_note = "Iteration Delay on the collision branch of the step loop."
+    kernel_name = "mcb_transport"
+    sr_threshold = 12
+    defaults = {
+        "steps": 32,
+        "collision_prob": 0.10,
+        "collision_cost": 80,   # instructions in the collision handler
+    }
+
+    def source(self):
+        p = self.params
+        collision = repeat_lines(
+            "w = fma(w, 0.97, 0.03);", p["collision_cost"] // 2
+        )
+        collision2 = repeat_lines(
+            "tally = fma(w, w, tally);", p["collision_cost"] - p["collision_cost"] // 2
+        )
+        return f"""
+kernel mcb_transport(n_steps, tallies) {{
+    let t = tid();
+    let w = 1.0;
+    let tally = 0.0;
+    predict L1;
+    for i in 0..n_steps {{
+        // Prolog: advance the particle one flight step (cheap).
+        let u = hash01(t * 977.0 + i * 83.0);
+        w = w * 0.999;
+        if (u < {p['collision_prob']}) {{
+            // Proposed reconvergence point: expensive collision physics.
+            label L1: w = w * 0.95;
+{collision}
+{collision2}
+        }}
+        // Epilog: bookkeeping.
+        tally = tally + w * 0.0001;
+    }}
+    store(tallies + t, tally);
+}}
+"""
+
+    def setup(self, memory):
+        tallies = memory.alloc(self.n_threads, name="tallies")
+        return (self.params["steps"], tallies)

@@ -1,0 +1,85 @@
+"""MeiyaMD5: MD5 hash-reverse search (Table 2).
+
+"Contains a load-imbalanced, compute-heavy inner loop making it the ideal
+candidate for Loop Merge" (Section 5.4) — one of the automatically detected
+applications of Figure 10 with the largest upside.
+
+Each task tests one candidate password: the inner loop runs the MD5-style
+round function once per candidate character, so trip counts follow the
+(heavily imbalanced) candidate-length distribution, while the prolog that
+fetches the next candidate is nearly free. Compute-heavy body + tiny
+refill = the best case for Speculative Reconvergence.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register, repeat_lines
+
+
+@register
+class MeiyaMD5(Workload):
+    name = "meiyamd5"
+    description = (
+        "MD5 hash-reverse search; load-imbalanced compute-heavy inner loop "
+        "(candidate lengths), the ideal Loop Merge candidate"
+    )
+    pattern = "loop-merge"
+    paper_note = (
+        "Figure 10 automatic-detection winner; ideal Loop Merge candidate."
+    )
+    kernel_name = "md5_reverse"
+    sr_threshold = None
+    defaults = {
+        "candidates_per_thread": 4,
+        "len_lo": 1,
+        "len_hi": 56,
+        "round_cost": 36,
+    }
+
+    def source(self):
+        p = self.params
+        # An integer-heavy mix shaped like the MD5 round function:
+        # F(b,c,d) rotations and additive constants.
+        third = p["round_cost"] // 3
+        round_a = repeat_lines("a = bitor(bitand(xor(a, b), 65535), shr(c, 3));", third)
+        round_b = repeat_lines("b = bitand(b + a * 31 + 2654435, 1048575);", third)
+        round_c = repeat_lines(
+            "c = xor(bitand(shl(c, 1), 1048575), shr(a, 2));",
+            p["round_cost"] - 2 * third,
+        )
+        return f"""
+kernel md5_reverse(n_candidates, hits) {{
+    let cand = tid();
+    let found = 0;
+    predict L1;
+    while (cand < n_candidates) {{
+        // Prolog: fetch the next candidate (nearly free).
+        let a = cand * 2654435761 % 1048576;
+        let b = 271828;
+        let c = 314159;
+        // Candidate length: heavy-tailed (most short, some very long).
+        let u = hash01(cand * 0.577215);
+        let len = floor(u * u * u * {p['len_hi'] - p['len_lo']}.0) + {p['len_lo']};
+        let ch = 0;
+        while (ch < len) {{
+            // Proposed reconvergence point: one MD5-style round.
+            label L1: a = (a + ch) and 1048575;
+{round_a}
+{round_b}
+{round_c}
+            ch = ch + 1;
+        }}
+        // Epilog: compare digest against the target (cheap).
+        if (xor(xor(a, b), c) % 4096 == 0) {{
+            found = found + 1;
+        }}
+        cand = cand + 32;
+    }}
+    store(hits + tid(), found);
+}}
+"""
+
+    def setup(self, memory):
+        hits = memory.alloc(self.n_threads, name="hits")
+        n_candidates = self.params["candidates_per_thread"] * self.n_threads
+        return (n_candidates, hits)

@@ -1,0 +1,76 @@
+"""Common-function-call microbenchmark (Figure 2c, Section 4.4).
+
+"We did not find any applications that exhibit the common function call
+pattern ... instead, we validated this pattern using microbenchmarks."
+
+Both sides of a divergent branch call the same expensive device function
+``shade``; post-dominator analysis cannot reconverge at the shared body
+because the calls come from different program locations. ``predict @shade``
+makes threads collect at the function entry so the body runs convergently
+— with no prolog/epilog cost, since reconverging inside the callee
+"does not conflict with the compiler inserted reconvergence point".
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register, repeat_lines
+
+
+@register
+class MicroFuncCall(Workload):
+    name = "funccall"
+    description = (
+        "Microbenchmark: common function called from both sides of a "
+        "divergent branch (interprocedural Speculative Reconvergence)"
+    )
+    pattern = "func-call"
+    paper_note = "Validates Figure 2(c); no applications exhibited it."
+    kernel_name = "funccall_micro"
+    sr_threshold = None
+    defaults = {
+        "iterations": 24,
+        "branch_prob": 0.5,
+        "shade_cost": 40,
+        "else_extra": 4,
+    }
+
+    def source(self):
+        p = self.params
+        body = repeat_lines("x = fma(x, 1.0000002, 0.3);", p["shade_cost"], indent=4)
+        else_extra = repeat_lines("acc = acc * 0.9999;", p["else_extra"])
+        return f"""
+func shade(x) {{
+{body}
+    return x;
+}}
+
+kernel funccall_micro(n_iters, results) {{
+    let t = tid();
+    let acc = 0.0;
+    predict @shade;
+    for i in 0..n_iters {{
+        let u = hash01(t * 47.0 + i * 7.0);
+        if (u < {p['branch_prob']}) {{
+            acc = acc + @shade(acc + 1.0);
+        }} else {{
+{else_extra}
+            acc = acc + @shade(acc + 2.0);
+        }}
+    }}
+    store(results + t, acc);
+}}
+"""
+
+    def setup(self, memory):
+        results = memory.alloc(self.n_threads, name="results")
+        return (self.params["iterations"], results)
+
+    def shade_efficiency(self, launch):
+        """SIMT efficiency inside the shared function body (the metric the
+        microbenchmark validates)."""
+        keys = [
+            key
+            for key in launch.profiler.block_profiles
+            if key[0] == "shade"
+        ]
+        return launch.profiler.region_efficiency(keys)

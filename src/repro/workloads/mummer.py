@@ -1,0 +1,71 @@
+"""MUMmerGPU: parallel sequence alignment for genome sequencing (Table 2).
+
+Each thread aligns queries against a reference suffix structure; the inner
+match-extension loop runs until the query mismatches, so trip counts follow
+the (data-dependent) match-length distribution. Match lengths are mostly
+short with occasional long exact matches — moderate imbalance, hence the
+moderate gains the paper reports for mummer.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register, repeat_lines
+
+
+@register
+class Mummer(Workload):
+    name = "mummer"
+    description = (
+        "Parallel sequence alignment (suffix-tree walk); inner loop runs "
+        "until the query mismatches (data-dependent match lengths)"
+    )
+    pattern = "loop-merge"
+    paper_note = "Moderate trip-count imbalance; moderate gains in Figure 7."
+    kernel_name = "mummer_align"
+    sr_threshold = 20
+    defaults = {
+        "queries_per_thread": 10,
+        "match_lo": 2,
+        "match_hi": 36,
+        "extend_cost": 9,
+        "ref_size": 2048,
+    }
+
+    def source(self):
+        p = self.params
+        extend = repeat_lines("score = fma(score, 1.0001, 0.25);", p["extend_cost"])
+        return f"""
+kernel mummer_align(n_queries, reference, scores) {{
+    let q = tid();
+    let total = 0.0;
+    predict L1;
+    while (q < n_queries) {{
+        // Prolog: load the query head and root suffix-link.
+        let node = floor(hash01(q * 1.414213) * {p['ref_size']}.0);
+        let u = hash01(q * 6.283185);
+        let match_len = floor(u * u * {p['match_hi'] - p['match_lo']}.0) + {p['match_lo']};
+        let score = 0.0;
+        let k = 0;
+        while (k < match_len) {{
+            // Proposed reconvergence point: extend the match one base,
+            // following the suffix link (one gather per base).
+            label L1: node = ld(reference + floor(node) % {p['ref_size']});
+{extend}
+            k = k + 1;
+        }}
+        // Epilog: emit the maximal match.
+        total = total + score / (match_len + 1.0);
+        q = q + 32;
+    }}
+    store(scores + tid(), total);
+}}
+"""
+
+    def setup(self, memory):
+        size = self.params["ref_size"]
+        reference = memory.alloc_array(
+            [(i * 16807 + 3) % size for i in range(size)], name="reference"
+        )
+        scores = memory.alloc(self.n_threads, name="scores")
+        n_queries = self.params["queries_per_thread"] * self.n_threads
+        return (n_queries, reference, scores)

@@ -1,0 +1,66 @@
+"""OptiX-style ray traversal workload (Table 2).
+
+"NVIDIA's ray tracing engine ... an application space known for
+divergence" (Section 5.4). BVH traversal alternates cheap internal-node
+steps with expensive leaf intersections; which rays hit leaves on a given
+step is thread-varying, so leaf tests execute serially under PDOM sync.
+The Iteration Delay point is the leaf-intersection block — the same vote
+pattern performance-conscious ray tracer authors hand-roll (Section 7).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register, repeat_lines
+
+
+@register
+class OptixTrace(Workload):
+    name = "optix"
+    description = (
+        "OptiX-style BVH traversal; divergent leaf-intersection branch "
+        "inside the traversal loop (Iteration Delay)"
+    )
+    pattern = "iteration-delay"
+    paper_note = (
+        "Several Figure 10 auto-detected candidates come from OptiX traces."
+    )
+    kernel_name = "optix_trace"
+    sr_threshold = 14
+    defaults = {
+        "steps": 40,
+        "leaf_prob": 0.25,
+        "intersect_cost": 60,
+        "traverse_cost": 3,
+    }
+
+    def source(self):
+        p = self.params
+        intersect = repeat_lines("t_hit = fma(t_hit, 0.991, 0.004);", p["intersect_cost"])
+        traverse = repeat_lines("node = node * 2 + 1;", p["traverse_cost"])
+        return f"""
+kernel optix_trace(n_steps, framebuffer) {{
+    let ray = tid();
+    let node = 1;
+    let t_hit = 1000000.0;
+    predict L1;
+    for i in 0..n_steps {{
+        let u = hash01(ray * 881.0 + i * 29.0);
+        if (u < {p['leaf_prob']}) {{
+            // Proposed reconvergence point: intersect leaf primitives
+            // (the expensive common code across iterations).
+            label L1: t_hit = t_hit * 0.9999;
+{intersect}
+            node = 1;
+        }} else {{
+            // Traverse an internal node (cheap).
+{traverse}
+            node = node % 4096;
+        }}
+    }}
+    store(framebuffer + ray, t_hit);
+}}
+"""
+
+    def setup(self, memory):
+        framebuffer = memory.alloc(self.n_threads, name="framebuffer")
+        return (self.params["steps"], framebuffer)

@@ -1,0 +1,82 @@
+"""PathTracer: Cornell-box sphere path tracer microbenchmark (Table 2).
+
+"Renders a sample scene composed of spheres in a Cornell box. Has loop trip
+count divergence": each sample bounces until Russian Roulette terminates
+the path ("each sample running one or more bounces up to some maximum
+limit"). The bounce loop body — intersect the sphere scene and shade — is
+expensive; fetching the next sample is cheap. Hence the Figure 9 result:
+"PathTracer executes fastest when all threads reconverge before executing;
+the cost of filling an idle thread with new work is low enough ... that it
+is best to immediately refill any idle thread."
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register, repeat_lines
+
+
+@register
+class PathTracer(Workload):
+    name = "pathtracer"
+    description = (
+        "CUDA path-tracing microbenchmark (spheres in a Cornell box); "
+        "Russian-Roulette bounce loop gives heavy-tailed trip counts"
+    )
+    pattern = "loop-merge"
+    paper_note = (
+        "Soft-barrier case study of Figure 9: peak performance at full "
+        "reconvergence (threshold 32) because refill is cheap."
+    )
+    kernel_name = "pathtrace"
+    sr_threshold = None   # full reconvergence is the user's best choice
+    defaults = {
+        "samples_per_thread": 9,
+        "max_bounces": 24,
+        "continue_prob": 0.72,
+        "shade_cost": 36,
+    }
+
+    def source(self):
+        p = self.params
+        shade = repeat_lines("radiance = fma(radiance, 0.98, throughput);", p["shade_cost"] // 3)
+        intersect = repeat_lines(
+            "throughput = fma(throughput, 0.995, 0.001);", p["shade_cost"] - p["shade_cost"] // 3
+        )
+        return f"""
+kernel pathtrace(n_samples, image) {{
+    let sample = tid();
+    let pixel = 0.0;
+    predict L1;
+    while (sample < n_samples) {{
+        // Prolog: generate the camera ray for this sample (cheap refill).
+        let throughput = 1.0;
+        let radiance = 0.0;
+        let bounce = 0;
+        let alive = 1;
+        while (alive > 0) {{
+            // Proposed reconvergence point: trace one bounce (intersect the
+            // sphere scene, evaluate BSDF, accumulate radiance).
+            label L1: bounce = bounce + 1;
+{intersect}
+{shade}
+            // Russian roulette path termination.
+            let u = hash01(sample * 131.0 + bounce * 17.0);
+            if (u > {p['continue_prob']}) {{
+                alive = 0;
+            }}
+            if (bounce >= {p['max_bounces']}) {{
+                alive = 0;
+            }}
+        }}
+        // Epilog: splat the sample (cheap).
+        pixel = pixel + radiance / (bounce + 0.0);
+        sample = sample + 32;
+    }}
+    store(image + tid(), pixel);
+}}
+"""
+
+    def setup(self, memory):
+        image = memory.alloc(self.n_threads, name="image")
+        n_samples = self.params["samples_per_thread"] * self.n_threads
+        return (n_samples, image)

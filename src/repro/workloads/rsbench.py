@@ -1,0 +1,88 @@
+"""RSBench: Monte Carlo neutron-transport cross-section lookup (Table 2).
+
+"Given a material and energy, the kernel walks over all the nuclides in the
+material ... and computes the sum of their cross-section data" (Figure 3).
+The inner loop's trip count is the material's nuclide count — in the real
+mini-app between 4 and 321 — so trip counts are wildly imbalanced across
+the warp. Thread coarsening supplies the outer loop over lookups ("instead
+of a single variable length task per thread, we assign a large number of
+tasks per thread to enable load balancing over time"); lookups are pulled
+from a global work queue exactly like the GPU scheduler distributes tasks.
+This gives the Figure 2(b) Loop Merge shape, with reconvergence point
+``L1`` at the inner-loop body as in Figure 3(a).
+
+RSBench is compute bound (the multipole cross-section math), so the inner
+body is FLOP-heavy; the companion XSBench workload is the memory-bound
+variant. Nuclide counts follow the real RSBench material table scaled by
+1/4 to keep simulation time bounded; the lookup distribution is skewed
+toward small materials, with the fuel material dominating runtime.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register, repeat_lines
+
+#: Real RSBench per-material nuclide counts, scaled by 1/4 (min kept >= 1).
+NUCLIDES_SCALED = [80, 74, 19, 16, 13, 9, 6, 5, 4, 4, 3, 1]
+
+
+@register
+class RSBench(Workload):
+    name = "rsbench"
+    description = (
+        "Nuclear reactor Monte Carlo neutron transport mini-app; divergent "
+        "inner-loop trip count (nuclides per material, 4-321), thread "
+        "coarsening applied"
+    )
+    pattern = "loop-merge"
+    paper_note = (
+        "Figure 3 case study; Loop Merge with thread coarsening. Paper "
+        "reports large SIMT-efficiency and runtime gains."
+    )
+    kernel_name = "rsbench_lookup"
+    sr_threshold = 24
+    #: dynamic work queue: task-to-thread assignment depends on timing, so
+    #: only the aggregate checksum (not per-cell memory) is comparable.
+    deterministic_memory = False
+    defaults = {
+        "n_tasks": 320,
+        "inner_fma": 7,
+        "n_materials": len(NUCLIDES_SCALED),
+    }
+
+    def source(self):
+        p = self.params
+        body = repeat_lines("xs = fma(xs, 1.0000001, 0.5);", p["inner_fma"])
+        return f"""
+kernel rsbench_lookup(n_tasks, queue, mat_table, out) {{
+    let acc = 0.0;
+    let task = atomadd(queue, 1);
+    predict L1;
+    while (task < n_tasks) {{
+        // Prolog: pick a material for this lookup (skewed toward small
+        // materials, like the mini-app's lookup distribution).
+        let pick = hash01(task * 1.618034);
+        let mat = floor(pick * pick * {p['n_materials']}.0);
+        let n_nuclides = ld(mat_table + mat);
+        let xs = 0.0;
+        let j = 0;
+        while (j < n_nuclides) {{
+            // Proposed reconvergence point: accumulate one nuclide's
+            // cross-section contribution (multipole math, compute bound).
+            label L1: xs = fma(xs, 1.0000001, 0.5);
+{body}
+            j = j + 1;
+        }}
+        // Epilog: post_processing()
+        acc = acc + xs / (n_nuclides + 1.0);
+        task = atomadd(queue, 1);
+    }}
+    store(out + tid(), acc);
+}}
+"""
+
+    def setup(self, memory):
+        queue = memory.alloc(1, name="queue")
+        mat_table = memory.alloc_array(list(NUCLIDES_SCALED), name="mat_table")
+        out = memory.alloc(self.n_threads, name="out")
+        return (self.params["n_tasks"], queue, mat_table, out)

@@ -1,0 +1,97 @@
+"""XSBench: memory-bound macroscopic cross-section lookup (Table 2).
+
+"Simulates a problem similar to RSBench, but is memory bound rather than
+compute bound. In particular, the nested divergent loop in the XSBench
+kernel has both an expensive inner loop and an expensive epilog."
+
+The inner loop gathers from a large cross-section table (scattered,
+uncoalesced accesses dominate); the per-task prolog models the
+unionized-energy-grid binary search — a chain of dependent loads — so
+*refilling an idle thread is expensive*. That is why XSBench prefers a
+soft barrier with a low threshold: "An expensive process is required when
+a thread wants a new task, and executing this process every time one or a
+few threads become idle is not profitable. ... performance is best when
+executing the inner loop until as few as four threads are participating"
+(Section 5.3, Figure 9). A low threshold lets the inner loop keep rolling
+while idle threads accumulate and refill in batches.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+
+
+@register
+class XSBench(Workload):
+    name = "xsbench"
+    description = (
+        "Memory-bound Monte Carlo cross-section lookup; expensive inner "
+        "loop AND expensive epilog (binary search over the energy grid)"
+    )
+    pattern = "loop-merge"
+    paper_note = (
+        "Soft-barrier case study of Figure 9: peak performance at a low "
+        "threshold (~4 threads still participating)."
+    )
+    kernel_name = "xsbench_lookup"
+    sr_threshold = 4
+    deterministic_memory = False
+    defaults = {
+        "n_tasks": 288,
+        "grid_levels": 12,      # binary-search depth in the prolog/epilog
+        "table_size": 4096,
+        "trip_lo": 4,
+        "trip_hi": 100,
+    }
+
+    def source(self):
+        p = self.params
+        # Refill: dependent-load chain emulating the grid binary search.
+        search = "\n".join(
+            " " * 8
+            + f"idx = floor((idx + ld(grid + (floor(idx) % {p['table_size']}))) / 2.0) + {2 ** i};"
+            for i in range(p["grid_levels"])
+        )
+        return f"""
+kernel xsbench_lookup(n_tasks, queue, grid, xs_table, out) {{
+    let acc = 0.0;
+    let task = atomadd(queue, 1);
+    let idx = 0.0;
+    predict L1;
+    while (task < n_tasks) {{
+        // Prolog (the expensive refill): binary search for the energy
+        // grid index — a chain of dependent, scattered loads.
+        let e = hash01(task * 2.718281);
+        idx = e * {p['table_size']}.0;
+{search}
+        // Heavy-tailed lookup length (number of nuclides in the energy
+        // window): mostly short, occasionally very long.
+        let u3 = hash01(task * 7.389056);
+        let span = floor(u3 * u3 * u3 * {p['trip_hi'] - p['trip_lo']}.0) + {p['trip_lo']};
+        let j = 0;
+        let xs = 0.0;
+        while (j < span) {{
+            // Proposed reconvergence point: gather one nuclide's data from
+            // the unionized grid (scattered across the table).
+            label L1: xs = xs + ld(xs_table + floor(idx + j * 523.0) % {p['table_size']});
+            xs = fma(xs, 0.999, 0.001);
+            j = j + 1;
+        }}
+        acc = acc + xs / (span + 1.0);
+        task = atomadd(queue, 1);
+    }}
+    store(out + tid(), acc);
+}}
+"""
+
+    def setup(self, memory):
+        size = self.params["table_size"]
+        queue = memory.alloc(1, name="queue")
+        grid = memory.alloc_array(
+            [(i * 48271) % 97 for i in range(size)], name="grid"
+        )
+        xs_table = memory.alloc_array(
+            [((i * 69621) % 1000) / 1000.0 for i in range(size)], name="xs_table"
+        )
+        out = memory.alloc(self.n_threads, name="out")
+        return (self.params["n_tasks"], queue, grid, xs_table, out)

@@ -1,0 +1,117 @@
+"""Tests for the generic dataflow solver and its fixpoint properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import CFGView, solve_backward, solve_forward
+
+DIAMOND = {"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []}
+LOOP = {"e": ["h"], "h": ["b", "x"], "b": ["h"], "x": []}
+
+
+class TestForward:
+    def test_gen_propagates_down(self):
+        view = CFGView(DIAMOND, "a")
+        result = solve_forward(view, gen={"a": {"f"}}, kill={})
+        assert "f" in result.out_of("d")
+        assert "f" in result.in_of("b")
+
+    def test_kill_stops_propagation(self):
+        view = CFGView(DIAMOND, "a")
+        result = solve_forward(view, gen={"a": {"f"}}, kill={"b": {"f"}, "c": {"f"}})
+        assert "f" not in result.in_of("d")
+
+    def test_union_at_joins(self):
+        view = CFGView(DIAMOND, "a")
+        result = solve_forward(view, gen={"b": {"x"}, "c": {"y"}}, kill={})
+        assert result.in_of("d") == frozenset({"x", "y"})
+
+    def test_loop_reaches_fixpoint(self):
+        view = CFGView(LOOP, "e")
+        result = solve_forward(view, gen={"b": {"f"}}, kill={})
+        # Fact generated in the loop body flows around the back edge.
+        assert "f" in result.in_of("h")
+        assert "f" in result.in_of("x")
+
+    def test_boundary_facts(self):
+        view = CFGView(DIAMOND, "a")
+        result = solve_forward(view, gen={}, kill={}, boundary={"init"})
+        assert "init" in result.out_of("d")
+
+
+class TestBackward:
+    def test_use_propagates_up(self):
+        view = CFGView(DIAMOND, "a")
+        result = solve_backward(view, gen={"d": {"v"}}, kill={})
+        assert "v" in result.out_of("a")
+        assert "v" in result.in_of("b")
+
+    def test_kill_blocks_liveness(self):
+        view = CFGView(DIAMOND, "a")
+        result = solve_backward(view, gen={"d": {"v"}}, kill={"b": {"v"}, "c": {"v"}})
+        assert "v" not in result.out_of("a")
+
+    def test_loop_liveness_around_back_edge(self):
+        view = CFGView(LOOP, "e")
+        result = solve_backward(view, gen={"b": {"v"}}, kill={})
+        assert "v" in result.in_of("h")
+        assert "v" in result.in_of("e")
+        assert "v" not in result.in_of("x")
+
+
+@st.composite
+def dataflow_problem(draw):
+    n = draw(st.integers(2, 8))
+    nodes = [f"n{i}" for i in range(n)]
+    succs = {node: [] for node in nodes}
+    for i in range(1, n):
+        succs[nodes[draw(st.integers(0, i - 1))]].append(nodes[i])
+    for _ in range(draw(st.integers(0, n))):
+        a, b = draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1))
+        if nodes[b] not in succs[nodes[a]]:
+            succs[nodes[a]].append(nodes[b])
+    facts = ["f1", "f2", "f3"]
+    gen = {
+        node: set(draw(st.lists(st.sampled_from(facts), max_size=2)))
+        for node in nodes
+    }
+    kill = {
+        node: set(draw(st.lists(st.sampled_from(facts), max_size=2)))
+        for node in nodes
+    }
+    return CFGView(succs, nodes[0]), gen, kill
+
+
+class TestFixpointProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(dataflow_problem())
+    def test_forward_solution_is_consistent(self, problem):
+        """The solution satisfies the dataflow equations at every node."""
+        view, gen, kill = problem
+        result = solve_forward(view, gen, kill)
+        for node in view.nodes:
+            expected_out = (result.in_of(node) - frozenset(kill[node])) | frozenset(
+                gen[node]
+            )
+            assert result.out_of(node) == expected_out
+            if node != view.entry:
+                acc = frozenset()
+                for pred in view.preds[node]:
+                    acc |= result.out_of(pred)
+                assert result.in_of(node) == acc
+
+    @settings(max_examples=60, deadline=None)
+    @given(dataflow_problem())
+    def test_backward_solution_is_consistent(self, problem):
+        view, gen, kill = problem
+        result = solve_backward(view, gen, kill)
+        for node in view.nodes:
+            expected_in = (result.out_of(node) - frozenset(kill[node])) | frozenset(
+                gen[node]
+            )
+            assert result.in_of(node) == expected_in
+            if view.succs[node]:
+                acc = frozenset()
+                for succ in view.succs[node]:
+                    acc |= result.in_of(succ)
+                assert result.out_of(node) == acc

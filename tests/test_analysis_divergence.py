@@ -1,0 +1,167 @@
+"""Divergence analysis and call graph tests."""
+
+from repro.analysis import (
+    DivergenceAnalysis,
+    analyze_module_divergence,
+    call_graph,
+    influence_region,
+    reverse_topological,
+)
+from repro.analysis.cfg_utils import CFGView
+from repro.analysis.dominators import compute_post_dominators
+from repro.frontend import compile_kernel_source
+from tests.helpers import diamond_function, listing1_module, loop_function
+
+
+class TestValueDivergence:
+    def test_tid_is_divergent(self):
+        module, fn = diamond_function(divergent=True)
+        analysis = DivergenceAnalysis(fn)
+        tid_defs = [
+            instr.dst
+            for _, _, instr in fn.instructions()
+            if instr.opcode.value == "tid"
+        ]
+        assert all(analysis.is_divergent(reg) for reg in tid_defs)
+
+    def test_constants_are_uniform(self):
+        module, fn = diamond_function(divergent=False)
+        analysis = DivergenceAnalysis(fn)
+        const_defs = [
+            instr.dst
+            for _, _, instr in fn.instructions()
+            if instr.opcode.value == "const"
+        ]
+        # Constants defined outside divergent regions stay uniform.
+        entry_consts = [r for r in const_defs if r is not None]
+        assert entry_consts  # sanity
+
+    def test_divergence_propagates_through_arithmetic(self):
+        module = compile_kernel_source(
+            "kernel k() { let a = tid(); let b = a * 2 + 1; store(b, 0.0); }"
+        )
+        fn = module.function("k")
+        analysis = DivergenceAnalysis(fn)
+        assert any(
+            analysis.is_divergent(reg)
+            for reg in fn.all_registers()
+            if reg.name.startswith("b")
+        )
+
+    def test_rand_is_divergent(self):
+        module = compile_kernel_source(
+            "kernel k() { let r = rand(); if (r < 0.5) { store(0, 1.0); } }"
+        )
+        analysis = DivergenceAnalysis(module.function("k"))
+        assert analysis.divergent_branches
+
+    def test_uniform_branch_not_divergent(self):
+        module, fn = diamond_function(divergent=False)
+        analysis = DivergenceAnalysis(fn)
+        assert "entry" not in analysis.divergent_branches
+
+    def test_divergent_branch_detected(self):
+        module, fn = diamond_function(divergent=True)
+        analysis = DivergenceAnalysis(fn)
+        assert "entry" in analysis.divergent_branches
+
+    def test_loop_with_divergent_trip_count(self):
+        module, fn = loop_function(trip_reg_divergent=True)
+        analysis = DivergenceAnalysis(fn)
+        assert "head" in analysis.divergent_branches
+
+    def test_loop_with_uniform_trip_count(self):
+        module, fn = loop_function(trip_reg_divergent=False)
+        analysis = DivergenceAnalysis(fn)
+        assert "head" not in analysis.divergent_branches
+
+
+class TestSyncDependence:
+    def test_defs_under_divergent_control_become_divergent(self):
+        module = compile_kernel_source(
+            """
+kernel k() {
+    let x = 0;
+    if (tid() < 16) { x = 1; }
+    if (x < 1) { store(0, 1.0); }
+}
+"""
+        )
+        fn = module.function("k")
+        analysis = DivergenceAnalysis(fn)
+        # The second branch depends on x, which merges divergently.
+        assert len(analysis.divergent_branches) == 2
+
+    def test_listing1_prolog_branch_divergent(self):
+        module = listing1_module()
+        analysis = DivergenceAnalysis(module.function("k"))
+        assert "prolog" in analysis.divergent_branches
+
+
+class TestInfluenceRegion:
+    def test_diamond_region_is_both_arms(self):
+        module, fn = diamond_function()
+        view = CFGView.of_function(fn)
+        pdom = compute_post_dominators(view)
+        region = influence_region(view, pdom, "entry")
+        assert region == {"then", "else"}
+
+    def test_uniform_successor_region_empty(self):
+        module, fn = diamond_function()
+        view = CFGView.of_function(fn)
+        pdom = compute_post_dominators(view)
+        assert influence_region(view, pdom, "join") == set()
+
+    def test_loop_region_contains_body(self):
+        module, fn = loop_function()
+        view = CFGView.of_function(fn)
+        pdom = compute_post_dominators(view)
+        region = influence_region(view, pdom, "head")
+        assert "body" in region
+
+
+class TestCallGraph:
+    SRC = """
+func leaf(x) { return x + 1; }
+func mid(x) { return @leaf(x) * 2; }
+kernel main() { let r = @mid(tid()); store(0, r); }
+"""
+
+    def test_edges(self):
+        module = compile_kernel_source(self.SRC)
+        graph = call_graph(module)
+        assert graph.callees["main"] == {"mid"}
+        assert graph.callees["mid"] == {"leaf"}
+        assert graph.callers["leaf"] == {"mid"}
+
+    def test_call_sites_recorded(self):
+        module = compile_kernel_source(self.SRC)
+        graph = call_graph(module)
+        assert len(graph.sites("main", "mid")) == 1
+        assert graph.all_sites_of("leaf")[0][0] == "mid"
+
+    def test_reverse_topological_callees_first(self):
+        module = compile_kernel_source(self.SRC)
+        graph = call_graph(module)
+        order = reverse_topological(graph)
+        assert order.index("leaf") < order.index("mid") < order.index("main")
+
+    def test_module_divergence_uses_summaries(self):
+        module = compile_kernel_source(self.SRC)
+        analyses = analyze_module_divergence(module)
+        assert set(analyses) == {"leaf", "mid", "main"}
+        # leaf's params are conservatively divergent (device function).
+        leaf = analyses["leaf"]
+        assert leaf.summary()["returns_divergent"]
+
+    def test_recursion_does_not_hang(self):
+        module = compile_kernel_source(
+            """
+func rec(x) { if (x < 1) { return 0; } return @rec(x - 1); }
+kernel main() { store(0, @rec(tid())); }
+"""
+        )
+        order = reverse_topological(call_graph(module))
+        assert set(order) == {"rec", "main"}
+        analyses = analyze_module_divergence(module)
+        assert "main" in analyses

@@ -1,0 +1,62 @@
+"""Threshold auto-tuning tests (the paper's stated future work)."""
+
+import pytest
+
+from repro.core import tune_threshold, tune_workload
+from repro.workloads import get_workload
+
+
+class TestTuneThreshold:
+    def test_finds_minimum_of_synthetic_curve(self):
+        # A V-shaped cost curve with minimum at threshold 11.
+        def run(threshold):
+            k = 32 if threshold is None else threshold
+            return 1000 + abs(k - 11) * 10
+
+        result = tune_threshold(run, baseline_cycles=1500)
+        assert result.best_threshold == 11
+        assert result.profitable
+        assert result.best_speedup == pytest.approx(1500 / 1000)
+
+    def test_handles_monotone_curve(self):
+        def run(threshold):
+            k = 32 if threshold is None else threshold
+            return 2000 - k * 10  # best at the hard end
+
+        result = tune_threshold(run, baseline_cycles=2000)
+        assert result.best_threshold in (None, 31)
+
+    def test_reports_all_evaluations(self):
+        calls = []
+
+        def run(threshold):
+            calls.append(threshold)
+            return 100
+
+        result = tune_threshold(run, baseline_cycles=100)
+        assert set(result.evaluations) == set(calls)
+        assert len(calls) == len(set(calls))  # memoized, no repeats
+
+    def test_unprofitable_detected(self):
+        result = tune_threshold(lambda k: 500, baseline_cycles=400)
+        assert not result.profitable
+
+
+class TestTuneWorkload:
+    def test_xsbench_tunes_low(self):
+        result = tune_workload(get_workload("xsbench", n_tasks=128))
+        assert result.best_threshold is not None
+        assert result.best_threshold <= 16
+        assert result.profitable
+
+    def test_pathtracer_tunes_high(self):
+        result = tune_workload(get_workload("pathtracer", samples_per_thread=5))
+        best = 32 if result.best_threshold is None else result.best_threshold
+        assert best >= 20
+        assert result.profitable
+
+    def test_tuned_beats_or_matches_user_choice(self):
+        workload = get_workload("rsbench", n_tasks=160)
+        result = tune_workload(workload)
+        user = workload.run(mode="sr")  # the workload's own sr_threshold
+        assert result.best_cycles <= user.cycles * 1.02

@@ -1,0 +1,69 @@
+"""Barrier-discipline lint tests."""
+
+from repro.core import BarrierNamer, ReconvergenceCompiler, collect_predictions
+from repro.core.barrier_lint import (
+    SEVERITY_ERROR,
+    lint_function,
+    lint_module,
+)
+from repro.core.insertion import insert_speculative_reconvergence
+from repro.core.pdom_sync import insert_pdom_sync
+from repro.ir import Barrier, Function, Instruction, Module, Opcode, make
+from tests.helpers import listing1_module
+
+
+class TestCleanOutput:
+    def test_pipeline_output_is_conflict_free(self):
+        for mode in ("baseline", "sr"):
+            prog = ReconvergenceCompiler().compile(listing1_module(), mode=mode)
+            errors = lint_module(prog.module, errors_only=True)
+            assert errors == [], [f.describe() for f in errors]
+
+    def test_workload_pipelines_clean(self):
+        from repro.workloads import get_workload
+
+        for name in ("rsbench", "mcb", "funccall"):
+            prog = get_workload(name).compile(mode="sr")
+            errors = lint_module(prog.module, errors_only=True)
+            assert errors == [], (name, [f.describe() for f in errors])
+
+    def test_barrier_free_function_has_no_findings(self):
+        fn = Function("f", is_kernel=True)
+        fn.new_block("entry").append(Instruction(Opcode.EXIT))
+        assert lint_function(fn) == []
+
+
+class TestHazardDetection:
+    def test_orphan_wait_flagged(self):
+        fn = Function("f", is_kernel=True)
+        block = fn.new_block("entry")
+        block.append(make(Opcode.BSYNC, None, Barrier("b0")))
+        block.append(Instruction(Opcode.EXIT))
+        findings = lint_function(fn)
+        assert any(f.kind == "orphan-wait" for f in findings)
+
+    def test_unresolved_conflict_flagged_as_error(self):
+        # SR insertion without deconfliction: the Section 4.3 hazard.
+        module = listing1_module()
+        fn = module.function("k")
+        namer = BarrierNamer()
+        insert_pdom_sync(fn, namer=namer)
+        prediction = collect_predictions(fn)[0]
+        insert_speculative_reconvergence(fn, prediction, namer=namer)
+        findings = lint_function(fn)
+        errors = [f for f in findings if f.severity == SEVERITY_ERROR]
+        assert any(f.kind == "unresolved-conflict" for f in errors)
+
+    def test_deconfliction_silences_the_error(self):
+        prog = ReconvergenceCompiler().compile(listing1_module(), mode="sr")
+        findings = lint_module(prog.module)
+        assert not any(f.kind == "unresolved-conflict" for f in findings)
+
+    def test_finding_describe(self):
+        fn = Function("f", is_kernel=True)
+        block = fn.new_block("entry")
+        block.append(make(Opcode.BSYNC, None, Barrier("b0")))
+        block.append(Instruction(Opcode.EXIT))
+        finding = lint_function(fn)[0]
+        text = finding.describe()
+        assert "orphan-wait" in text and "b0" in text

@@ -1,0 +1,112 @@
+"""Barrier register allocation tests (16 physical registers, coloring)."""
+
+import pytest
+
+from repro.core import (
+    PHYSICAL_BARRIERS,
+    ReconvergenceCompiler,
+    allocate_barriers,
+    allocate_module,
+    color_barriers,
+)
+from repro.errors import AllocationError
+from repro.ir import (
+    Barrier,
+    Function,
+    Instruction,
+    Module,
+    Opcode,
+    make,
+)
+from tests.helpers import listing1_module
+
+
+def _serial_barriers(n):
+    """n disjoint join/wait pairs in sequence (no interference)."""
+    fn = Function("k", is_kernel=True)
+    block = fn.new_block("entry")
+    for i in range(n):
+        block.append(make(Opcode.BSSY, None, Barrier(f"b{i}")))
+        block.append(make(Opcode.BSYNC, None, Barrier(f"b{i}")))
+    block.append(Instruction(Opcode.EXIT))
+    return fn
+
+
+def _nested_barriers(n):
+    """n simultaneously-live barriers (full interference)."""
+    fn = Function("k", is_kernel=True)
+    block = fn.new_block("entry")
+    for i in range(n):
+        block.append(make(Opcode.BSSY, None, Barrier(f"b{i}")))
+    for i in reversed(range(n)):
+        block.append(make(Opcode.BSYNC, None, Barrier(f"b{i}")))
+    block.append(Instruction(Opcode.EXIT))
+    return fn
+
+
+class TestColoring:
+    def test_disjoint_ranges_share_a_register(self):
+        fn = _serial_barriers(4)
+        assignment = color_barriers(fn)
+        assert set(assignment.values()) == {"B0"}
+
+    def test_overlapping_ranges_get_distinct_registers(self):
+        fn = _nested_barriers(4)
+        assignment = color_barriers(fn)
+        assert len(set(assignment.values())) == 4
+
+    def test_sixteen_simultaneous_fit(self):
+        fn = _nested_barriers(PHYSICAL_BARRIERS)
+        assignment = color_barriers(fn)
+        assert len(set(assignment.values())) == PHYSICAL_BARRIERS
+
+    def test_seventeen_simultaneous_overflow(self):
+        fn = _nested_barriers(PHYSICAL_BARRIERS + 1)
+        with pytest.raises(AllocationError):
+            color_barriers(fn)
+
+    def test_apply_rewrites_operands(self):
+        fn = _serial_barriers(2)
+        allocate_barriers(fn)
+        names = {
+            instr.operands[0].name
+            for _, _, instr in fn.instructions()
+            if instr.is_barrier_op
+        }
+        assert names == {"B0"}
+        assert fn.attrs["barrier_allocation"]
+
+    def test_reserved_assignment_respected(self):
+        fn = _serial_barriers(2)
+        assignment = allocate_barriers(fn, reserved={"b0": "B7"})
+        assert assignment["b0"] == "B7"
+        assert assignment["b1"] != "B7"  # pinned registers are off-limits
+
+
+class TestModuleAllocation:
+    def test_cross_function_barrier_consistent(self):
+        module = Module("m")
+        caller = Function("main", is_kernel=True)
+        block = caller.new_block("entry")
+        block.append(make(Opcode.BSSY, None, Barrier("shared")))
+        block.append(Instruction(Opcode.EXIT))
+        module.add(caller)
+        callee = Function("leaf")
+        cblock = callee.new_block("entry")
+        cblock.append(make(Opcode.BSYNC, None, Barrier("shared")))
+        cblock.append(Instruction(Opcode.RET))
+        module.add(callee)
+        assignments = allocate_module(module)
+        assert assignments["main"]["shared"] == assignments["leaf"]["shared"]
+
+    def test_pipeline_output_uses_physical_names(self):
+        prog = ReconvergenceCompiler().compile(listing1_module(), mode="sr")
+        fn = prog.module.function("k")
+        names = {
+            instr.operands[0].name
+            for _, _, instr in fn.instructions()
+            if instr.is_barrier_op and isinstance(instr.operands[0], Barrier)
+        }
+        assert names
+        assert all(name.startswith("B") for name in names)
+        assert all(int(name[1:]) < PHYSICAL_BARRIERS for name in names)

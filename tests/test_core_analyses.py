@@ -1,0 +1,184 @@
+"""Tests for the Section 4.2.1 dataflow analyses and Section 4.1 machinery:
+directives, regions, joined-barrier analysis, barrier liveness.
+
+The Listing 1 CFG (tests.helpers.listing1_module) mirrors Figure 4:
+entry=BB0 (region start), head=BB1, prolog=BB2, then=BB3 (label L1),
+epilog=BB4, exit=BB5.
+"""
+
+import pytest
+
+from repro.core import (
+    BarrierLiveness,
+    BarrierNamer,
+    JoinedBarriers,
+    collect_predictions,
+    compute_region,
+    find_label_block,
+    join_barrier,
+    strip_directives,
+    wait_barrier,
+)
+from repro.errors import TransformError
+from repro.ir import Opcode
+from tests.helpers import listing1_module
+
+
+def figure4_function():
+    """Listing 1 with the join/wait of Figure 4(a) already placed."""
+    module = listing1_module(with_predict=False)
+    fn = module.function("k")
+    fn.block("entry").insert_before_terminator(join_barrier("b0", "sr"))
+    fn.block("then").prepend(wait_barrier("b0", "sr"))
+    return fn
+
+
+class TestPrimitives:
+    def test_roles_recorded(self):
+        assert join_barrier("b", "sr").attrs["role"] == "join"
+        assert wait_barrier("b", "sr").attrs["role"] == "wait"
+
+    def test_namer_unique(self):
+        namer = BarrierNamer()
+        assert namer.fresh() != namer.fresh()
+
+
+class TestDirectives:
+    def test_collect_prediction(self):
+        module = listing1_module()
+        predictions = collect_predictions(module.function("k"))
+        assert len(predictions) == 1
+        prediction = predictions[0]
+        assert prediction.label == "L1"
+        assert prediction.target_block == "then"
+        assert prediction.region_block == "entry"
+        assert not prediction.is_interprocedural
+
+    def test_threshold_attr_collected(self):
+        module = listing1_module()
+        fn = module.function("k")
+        for _, _, instr in fn.instructions():
+            if instr.opcode is Opcode.PREDICT:
+                instr.attrs["threshold"] = 8
+        prediction = collect_predictions(fn)[0]
+        assert prediction.threshold == 8
+
+    def test_missing_label_raises(self):
+        module = listing1_module()
+        fn = module.function("k")
+        fn.block("then").attrs.pop("label")
+        with pytest.raises(TransformError, match="no matching label"):
+            collect_predictions(fn)
+
+    def test_ambiguous_label_raises(self):
+        module = listing1_module()
+        fn = module.function("k")
+        fn.block("epilog").attrs["label"] = "L1"
+        with pytest.raises(TransformError, match="ambiguous"):
+            collect_predictions(fn)
+
+    def test_strip_directives(self):
+        module = listing1_module()
+        fn = module.function("k")
+        assert strip_directives(fn) == 1
+        assert collect_predictions(fn) == []
+
+    def test_find_label_block(self):
+        module = listing1_module()
+        assert find_label_block(module.function("k"), "L1").name == "then"
+
+
+class TestRegions:
+    def test_listing1_region(self):
+        module = listing1_module()
+        fn = module.function("k")
+        region = compute_region(fn, "entry", "then")
+        assert region.blocks == {"entry", "head", "prolog", "then", "epilog"}
+
+    def test_region_exit_edges(self):
+        module = listing1_module()
+        region = compute_region(module.function("k"), "entry", "then")
+        assert region.exit_edges == [("head", "exit")]
+
+    def test_region_post_dominator(self):
+        module = listing1_module()
+        region = compute_region(module.function("k"), "entry", "then")
+        assert region.post_dominator == "exit"
+
+    def test_unreachable_label_rejected(self):
+        module = listing1_module()
+        fn = module.function("k")
+        with pytest.raises(TransformError, match="unreachable"):
+            compute_region(fn, "exit", "then")
+
+
+class TestJoinedBarriers:
+    """Equation 1 on the Figure 4(b) example."""
+
+    def test_joined_through_region(self):
+        fn = figure4_function()
+        joined = JoinedBarriers(fn)
+        for block in ("head", "prolog"):
+            assert "b0" in joined.joined_in(block)
+
+    def test_wait_kills_joined(self):
+        fn = figure4_function()
+        joined = JoinedBarriers(fn)
+        # BB3 clears the barrier: joined-out of `then` is empty.
+        assert "b0" not in joined.joined_out("then")
+
+    def test_union_at_merge(self):
+        fn = figure4_function()
+        joined = JoinedBarriers(fn)
+        # epilog merges prolog (joined) and then (cleared): may-joined.
+        assert "b0" in joined.joined_in("epilog")
+
+    def test_joined_before_instruction(self):
+        fn = figure4_function()
+        joined = JoinedBarriers(fn)
+        then = fn.block("then")
+        assert "b0" in joined.joined_before(then, 0)
+        assert "b0" not in joined.joined_before(then, 1)  # after the wait
+
+    def test_joined_points_cover_loop(self):
+        fn = figure4_function()
+        points = JoinedBarriers(fn).joined_points("b0")
+        blocks = {name for name, _ in points}
+        assert {"head", "prolog", "epilog"} <= blocks
+
+
+class TestBarrierLiveness:
+    """Equation 2 on the Figure 4(c) example."""
+
+    def test_live_backward_from_wait(self):
+        fn = figure4_function()
+        liveness = BarrierLiveness(fn)
+        for block in ("head", "prolog"):
+            assert "b0" in liveness.live_in(block)
+
+    def test_dead_after_region(self):
+        fn = figure4_function()
+        liveness = BarrierLiveness(fn)
+        assert "b0" not in liveness.live_in("exit")
+
+    def test_join_kills_liveness_above(self):
+        fn = figure4_function()
+        liveness = BarrierLiveness(fn)
+        # Above the JoinBarrier in entry the register is dead (Fig 4c: BB0
+        # LiveOut={b0} but the range starts at the join).
+        entry = fn.block("entry")
+        join_index = next(
+            i
+            for i, instr in enumerate(entry.instructions)
+            if instr.opcode is Opcode.BSSY
+        )
+        assert "b0" not in liveness.live_before(entry, join_index)
+        assert "b0" in liveness.live_after(entry, join_index)
+
+    def test_live_through_back_edge(self):
+        fn = figure4_function()
+        liveness = BarrierLiveness(fn)
+        # After the wait in `then`, b0 is live again via the loop back edge
+        # (this is why a RejoinBarrier is required there).
+        then = fn.block("then")
+        assert "b0" in liveness.live_after(then, 0)

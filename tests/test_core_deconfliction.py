@@ -1,0 +1,166 @@
+"""Conflict analysis and deconfliction (Section 4.3, Figure 5).
+
+Includes the load-bearing demonstration: without deconfliction, the SR
+barrier and the PDOM barrier deadlock the warp; either strategy fixes it.
+"""
+
+import pytest
+
+from repro.core import (
+    BarrierNamer,
+    ConflictAnalysis,
+    ReconvergenceCompiler,
+    collect_predictions,
+    deconflict,
+    insert_pdom_sync,
+    insert_speculative_reconvergence,
+    literal_barriers,
+    remove_barrier_ops,
+)
+from repro.errors import DeadlockError, DeconflictionError
+from repro.ir import Opcode
+from repro.simt import GPUMachine
+from tests.helpers import listing1_module
+
+
+def _inserted(with_deconflict=None):
+    """Listing 1 with pdom + SR barriers; optionally deconflicted."""
+    module = listing1_module()
+    fn = module.function("k")
+    namer = BarrierNamer()
+    insert_pdom_sync(fn, namer=namer)
+    prediction = collect_predictions(fn)[0]
+    report = insert_speculative_reconvergence(fn, prediction, namer=namer)
+    sr_barriers = [report.barrier, report.exit_barrier]
+    if with_deconflict:
+        deconflict(fn, sr_barriers, strategy=with_deconflict)
+    from repro.core.directives import strip_directives
+
+    strip_directives(fn)
+    return module, fn, report
+
+
+class TestConflictAnalysis:
+    def test_sr_conflicts_with_pdom(self):
+        module, fn, report = _inserted()
+        analysis = ConflictAnalysis(fn)
+        conflicting = analysis.conflicts_with(report.barrier)
+        assert conflicting, "SR barrier must conflict with the PDOM barrier"
+
+    def test_exit_barrier_does_not_conflict(self):
+        # The orthogonal region-exit barrier covers everything inclusively.
+        module, fn, report = _inserted()
+        analysis = ConflictAnalysis(fn)
+        assert analysis.conflicts_with(report.exit_barrier) == []
+
+    def test_interference_is_weaker_than_conflict(self):
+        module, fn, report = _inserted()
+        analysis = ConflictAnalysis(fn)
+        # Exit barrier interferes (overlaps) with everything it encloses
+        # even though it conflicts with nothing.
+        others = [b for b in analysis.barriers if b != report.exit_barrier]
+        assert any(analysis.interferes(report.exit_barrier, b) for b in others)
+
+    def test_literal_barriers_in_first_use_order(self):
+        module, fn, report = _inserted()
+        names = literal_barriers(fn)
+        assert len(names) == len(set(names)) >= 3
+
+    def test_conflict_record_api(self):
+        module, fn, report = _inserted()
+        conflict = ConflictAnalysis(fn).conflicts[0]
+        assert conflict.involves(conflict.first)
+        assert conflict.other(conflict.first) == conflict.second
+        with pytest.raises(ValueError):
+            conflict.other("nope")
+
+
+class TestDeadlockWithoutDeconfliction:
+    def test_conflicting_barriers_deadlock_the_warp(self):
+        """The 'unpredictable behavior' of Section 4.3, concretely."""
+        module, fn, report = _inserted(with_deconflict=None)
+        with pytest.raises(DeadlockError):
+            GPUMachine(module).launch("k", 32)
+
+    def test_dynamic_deconfliction_fixes_it(self):
+        module, fn, report = _inserted(with_deconflict="dynamic")
+        result = GPUMachine(module).launch("k", 32)
+        assert result.simt_efficiency > 0
+
+    def test_static_deconfliction_fixes_it(self):
+        module, fn, report = _inserted(with_deconflict="static")
+        result = GPUMachine(module).launch("k", 32)
+        assert result.simt_efficiency > 0
+
+
+class TestStrategies:
+    def test_dynamic_inserts_cancel_before_wait(self):
+        module, fn, report = _inserted(with_deconflict="dynamic")
+        then = fn.block("then")
+        wait_index = next(
+            i
+            for i, instr in enumerate(then.instructions)
+            if instr.opcode is Opcode.BSYNC
+        )
+        breaks_before = [
+            instr
+            for instr in then.instructions[:wait_index]
+            if instr.opcode is Opcode.BBREAK
+            and instr.attrs.get("origin") == "deconflict"
+        ]
+        assert breaks_before
+
+    def test_dynamic_removes_nothing(self):
+        module_plain, fn_plain, _ = _inserted()
+        module_dyn, fn_dyn, _ = _inserted(with_deconflict="dynamic")
+        count = lambda fn, op: sum(
+            1 for _, _, i in fn.instructions() if i.opcode is op
+        )
+        assert count(fn_dyn, Opcode.BSYNC) == count(fn_plain, Opcode.BSYNC)
+
+    def test_static_removes_pdom_barrier(self):
+        module, fn, report = _inserted(with_deconflict="static")
+        analysis = ConflictAnalysis(fn)
+        assert analysis.conflicts_with(report.barrier) == []
+        origins = {
+            i.attrs.get("origin")
+            for _, _, i in fn.instructions()
+            if i.is_barrier_op
+        }
+        # The conflicting pdom barrier ops are gone; SR ops remain.
+        assert "sr" in origins
+
+    def test_static_report_lists_removed(self):
+        module = listing1_module()
+        fn = module.function("k")
+        namer = BarrierNamer()
+        insert_pdom_sync(fn, namer=namer)
+        prediction = collect_predictions(fn)[0]
+        report = insert_speculative_reconvergence(fn, prediction, namer=namer)
+        deconf = deconflict(fn, [report.barrier], strategy="static")
+        assert deconf.removed_barriers
+
+    def test_unknown_strategy_rejected(self):
+        module, fn, report = _inserted()
+        with pytest.raises(DeconflictionError):
+            deconflict(fn, [report.barrier], strategy="quantum")
+
+    def test_remove_barrier_ops_counts(self):
+        module, fn, report = _inserted()
+        analysis = ConflictAnalysis(fn)
+        victim = analysis.conflicts_with(report.barrier)[0]
+        removed = remove_barrier_ops(fn, victim)
+        assert removed >= 2  # at least its join and wait
+
+    def test_results_identical_across_strategies(self):
+        baseline = ReconvergenceCompiler().compile(listing1_module(), mode="baseline")
+        dynamic = ReconvergenceCompiler(deconfliction="dynamic").compile(
+            listing1_module(), mode="sr"
+        )
+        static = ReconvergenceCompiler(deconfliction="static").compile(
+            listing1_module(), mode="sr"
+        )
+        results = {}
+        for name, prog in (("base", baseline), ("dyn", dynamic), ("stat", static)):
+            results[name] = GPUMachine(prog.module).launch("k", 32).memory.snapshot()
+        assert results["base"] == results["dyn"] == results["stat"]

@@ -1,0 +1,160 @@
+"""Tests for the synchronization-insertion algorithm (Section 4.2) and the
+compiled structure of Figure 4(d)."""
+
+import pytest
+
+from repro.core import (
+    BarrierNamer,
+    collect_predictions,
+    insert_pdom_sync,
+    insert_speculative_reconvergence,
+)
+from repro.errors import TransformError
+from repro.ir import Barrier, Opcode, verify_function
+from tests.helpers import diamond_function, listing1_module, loop_function
+
+
+def _ops(block, opcode, role=None):
+    return [
+        i
+        for i in block.instructions
+        if i.opcode is opcode and (role is None or i.attrs.get("role") == role)
+    ]
+
+
+class TestPdomSync:
+    def test_divergent_diamond_gets_barrier(self):
+        module, fn = diamond_function(divergent=True)
+        report = insert_pdom_sync(fn)
+        barrier, join_point = report.barriers["entry"]
+        assert join_point == "join"
+        assert _ops(fn.block("entry"), Opcode.BSSY)
+        assert _ops(fn.block("join"), Opcode.BSYNC)
+
+    def test_uniform_branch_skipped(self):
+        module, fn = diamond_function(divergent=False)
+        report = insert_pdom_sync(fn)
+        assert report.barriers == {}
+        assert ("entry", "uniform") in report.skipped_branches
+
+    def test_assume_all_divergent_overrides(self):
+        module, fn = diamond_function(divergent=False)
+        report = insert_pdom_sync(fn, assume_all_divergent=True)
+        assert "entry" in report.barriers
+
+    def test_loop_exit_reconvergence(self):
+        module, fn = loop_function(trip_reg_divergent=True)
+        report = insert_pdom_sync(fn)
+        barrier, join_point = report.barriers["head"]
+        assert join_point == "exit"
+
+    def test_inserted_code_verifies(self):
+        module = listing1_module()
+        fn = module.function("k")
+        insert_pdom_sync(fn)
+        assert verify_function(fn)
+
+
+class TestSRInsertion:
+    def _compile_listing1(self):
+        module = listing1_module()
+        fn = module.function("k")
+        namer = BarrierNamer()
+        insert_pdom_sync(fn, namer=namer)
+        prediction = collect_predictions(fn)[0]
+        report = insert_speculative_reconvergence(fn, prediction, namer=namer)
+        return fn, report
+
+    def test_figure4d_structure(self):
+        fn, report = self._compile_listing1()
+        # Join (plus the orthogonal exit join) replaces the directive in BB0.
+        entry_joins = _ops(fn.block("entry"), Opcode.BSSY, role="join")
+        assert len(entry_joins) == 2
+        # WaitBarrier at the top of BB3 followed by RejoinBarrier.
+        then = fn.block("then")
+        wait = _ops(then, Opcode.BSYNC, role="wait")
+        rejoin = _ops(then, Opcode.BSSY, role="rejoin")
+        assert wait and rejoin
+        assert then.index_of(rejoin[0]) == then.index_of(wait[0]) + 1
+        assert report.rejoin_inserted
+
+    def test_cancel_at_region_exit(self):
+        fn, report = self._compile_listing1()
+        cancels = _ops(fn.block("exit"), Opcode.BBREAK, role="cancel")
+        assert cancels
+        assert report.cancel_blocks == ["exit"]
+        assert Barrier(report.barrier) in [c.operands[0] for c in cancels]
+
+    def test_exit_barrier_waits_after_cancels(self):
+        fn, report = self._compile_listing1()
+        exit_block = fn.block("exit")
+        wait_index = next(
+            i
+            for i, instr in enumerate(exit_block.instructions)
+            if instr.opcode is Opcode.BSYNC
+            and instr.operands[0] == Barrier(report.exit_barrier)
+        )
+        cancel_index = next(
+            i
+            for i, instr in enumerate(exit_block.instructions)
+            if instr.opcode is Opcode.BBREAK
+            and instr.operands[0] == Barrier(report.barrier)
+        )
+        assert cancel_index < wait_index
+        assert report.exit_wait_block == "exit"
+
+    def test_directive_consumed(self):
+        fn, _ = self._compile_listing1()
+        assert not [
+            instr
+            for _, _, instr in fn.instructions()
+            if instr.opcode is Opcode.PREDICT
+        ]
+
+    def test_region_blocks_recorded(self):
+        fn, report = self._compile_listing1()
+        assert report.region_blocks == {"entry", "head", "prolog", "then", "epilog"}
+
+    def test_verifies_after_insertion(self):
+        fn, _ = self._compile_listing1()
+        assert verify_function(fn)
+
+    def test_soft_prediction_emits_soft_wait(self):
+        module = listing1_module()
+        fn = module.function("k")
+        prediction = collect_predictions(fn)[0]
+        prediction.threshold = 8
+        insert_speculative_reconvergence(fn, prediction)
+        soft = _ops(fn.block("then"), Opcode.BSYNCSOFT)
+        assert soft and soft[0].operands[1].value == 8
+
+    def test_interprocedural_prediction_rejected_here(self):
+        module = listing1_module()
+        fn = module.function("k")
+        prediction = collect_predictions(fn)[0]
+        prediction.callee = "foo"
+        with pytest.raises(TransformError):
+            insert_speculative_reconvergence(fn, prediction)
+
+    def test_no_rejoin_for_straightline_region(self):
+        """A non-loop region (Fig 2c-like, single pass) needs no rejoin."""
+        from repro.ir import Function, IRBuilder, Module
+
+        module = Module("m")
+        fn = Function("k", is_kernel=True)
+        module.add(fn)
+        b = IRBuilder(fn)
+        b.new_block("entry", switch=True)
+        tid = b.tid()
+        b.predict("L1")
+        then_block = b.new_block("then", attrs={"label": "L1"})
+        join = b.new_block("join")
+        b.cbr(b.lt(tid, 16), then_block, join)
+        b.set_block(then_block)
+        b.store(tid, 1.0)
+        b.bra(join)
+        b.set_block(join)
+        b.exit()
+        prediction = collect_predictions(fn)[0]
+        report = insert_speculative_reconvergence(fn, prediction)
+        assert not report.rejoin_inserted

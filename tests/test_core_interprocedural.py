@@ -1,0 +1,149 @@
+"""Interprocedural SR (Section 4.4): insertion, wrappers, end-to-end."""
+
+import pytest
+
+from repro.core import (
+    ReconvergenceCompiler,
+    collect_predictions,
+    insert_interprocedural_sr,
+    make_wrapper,
+)
+from repro.errors import TransformError
+from repro.frontend import compile_kernel_source
+from repro.ir import Opcode, verify_module
+from repro.simt import GPUMachine
+
+SRC = """
+func shade(x) {
+    x = fma(x, 1.01, 0.5);
+    x = fma(x, 1.01, 0.5);
+    x = fma(x, 1.01, 0.5);
+    x = fma(x, 1.01, 0.5);
+    return x;
+}
+
+kernel k(n) {
+    let acc = 0.0;
+    let t = tid();
+    predict @shade;
+    for i in 0..n {
+        if (hash01(t * 3.0 + i) < 0.5) {
+            acc = acc + @shade(acc);
+        } else {
+            acc = acc * 0.99;
+            acc = acc + @shade(acc + 1.0);
+        }
+    }
+    store(t, acc);
+}
+"""
+
+
+class TestInsertion:
+    def _inserted(self):
+        module = compile_kernel_source(SRC)
+        fn = module.function("k")
+        prediction = collect_predictions(fn)[0]
+        assert prediction.is_interprocedural
+        report = insert_interprocedural_sr(module, fn, prediction)
+        return module, report
+
+    def test_wait_and_rejoin_at_callee_entry(self):
+        module, report = self._inserted()
+        entry = module.function("shade").entry
+        assert entry.instructions[0].opcode is Opcode.BSYNC
+        assert entry.instructions[1].opcode is Opcode.BSSY  # rejoin
+
+    def test_join_in_caller(self):
+        module, report = self._inserted()
+        entry = module.function("k").entry
+        joins = [i for i in entry if i.opcode is Opcode.BSSY]
+        assert len(joins) == 2  # barrier + exit barrier
+
+    def test_cancels_on_region_exit(self):
+        module, report = self._inserted()
+        assert report.cancel_blocks
+        fn = module.function("k")
+        for name in report.cancel_blocks:
+            assert any(i.opcode is Opcode.BBREAK for i in fn.block(name))
+
+    def test_region_covers_call_sites(self):
+        module, report = self._inserted()
+        fn = module.function("k")
+        call_blocks = {
+            block.name
+            for block, _, instr in fn.instructions()
+            if instr.opcode is Opcode.CALL
+        }
+        assert call_blocks <= report.region_blocks
+
+    def test_no_call_sites_rejected(self):
+        module = compile_kernel_source(
+            "func f(x) { return x; }\nkernel k() { predict @f; store(0, 1.0); }"
+        )
+        fn = module.function("k")
+        prediction = collect_predictions(fn)[0]
+        with pytest.raises(TransformError, match="no call sites"):
+            insert_interprocedural_sr(module, fn, prediction)
+
+
+class TestEndToEnd:
+    def test_results_identical_and_shade_converges(self):
+        module = compile_kernel_source(SRC)
+        baseline = ReconvergenceCompiler().compile(module, mode="baseline")
+        optimized = ReconvergenceCompiler().compile(module, mode="sr")
+        base = GPUMachine(baseline.module).launch("k", 32, args=(12,))
+        opt = GPUMachine(optimized.module).launch("k", 32, args=(12,))
+        assert base.memory.snapshot() == opt.memory.snapshot()
+
+        def shade_eff(launch):
+            keys = [k for k in launch.profiler.block_profiles if k[0] == "shade"]
+            return launch.profiler.region_efficiency(keys)
+
+        assert shade_eff(opt) > shade_eff(base)
+        assert shade_eff(opt) > 0.9
+
+    def test_compiled_module_verifies(self):
+        module = compile_kernel_source(SRC)
+        optimized = ReconvergenceCompiler().compile(module, mode="sr")
+        assert verify_module(optimized.module)
+
+
+class TestWrapper:
+    def test_wrapper_redirects_calls(self):
+        module = compile_kernel_source(SRC)
+        wrapper = make_wrapper(module, "shade")
+        fn = module.function("k")
+        callees = {
+            instr.operands[0].name
+            for _, _, instr in fn.instructions()
+            if instr.opcode is Opcode.CALL
+        }
+        assert callees == {wrapper.name}
+
+    def test_wrapper_preserves_results(self):
+        module = compile_kernel_source(SRC)
+        plain = ReconvergenceCompiler().compile(module, mode="baseline")
+        wrapped_module = compile_kernel_source(SRC)
+        make_wrapper(wrapped_module, "shade")
+        wrapped = ReconvergenceCompiler().compile(wrapped_module, mode="baseline")
+        a = GPUMachine(plain.module).launch("k", 32, args=(6,))
+        b = GPUMachine(wrapped.module).launch("k", 32, args=(6,))
+        assert a.memory.snapshot() == b.memory.snapshot()
+
+    def test_wrapper_name_collision_rejected(self):
+        module = compile_kernel_source(SRC)
+        make_wrapper(module, "shade")
+        with pytest.raises(TransformError):
+            make_wrapper(module, "shade")
+
+    def test_selective_redirect(self):
+        module = compile_kernel_source(SRC)
+        make_wrapper(module, "shade", redirect_in=[])
+        fn = module.function("k")
+        callees = {
+            instr.operands[0].name
+            for _, _, instr in fn.instructions()
+            if instr.opcode is Opcode.CALL
+        }
+        assert callees == {"shade"}

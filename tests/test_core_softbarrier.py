@@ -1,0 +1,120 @@
+"""Soft barrier tests (Section 4.6)."""
+
+from repro.core import (
+    ReconvergenceCompiler,
+    expand_fig6_style,
+    set_prediction_threshold,
+    soften_waits,
+)
+from repro.frontend import compile_kernel_source
+from repro.ir import Opcode, verify_function
+from repro.simt import GPUMachine
+from tests.helpers import listing1_module, loop_merge_source
+
+
+def _find_wait(function, opcode=Opcode.BSYNC, origin="sr"):
+    for block in function.blocks:
+        for index, instr in enumerate(block.instructions):
+            if instr.opcode is opcode and instr.attrs.get("origin") == origin:
+                return block, index
+    raise AssertionError("no wait found")
+
+
+class TestThresholdConfiguration:
+    def test_set_prediction_threshold(self):
+        module = listing1_module()
+        fn = module.function("k")
+        assert set_prediction_threshold(fn, 8) == 1
+        predicts = [
+            i for _, _, i in fn.instructions() if i.opcode is Opcode.PREDICT
+        ]
+        assert predicts[0].attrs["threshold"] == 8
+
+    def test_clear_threshold(self):
+        module = listing1_module()
+        fn = module.function("k")
+        set_prediction_threshold(fn, 8)
+        set_prediction_threshold(fn, None)
+        predicts = [
+            i for _, _, i in fn.instructions() if i.opcode is Opcode.PREDICT
+        ]
+        assert "threshold" not in predicts[0].attrs
+
+    def test_label_filter(self):
+        module = listing1_module()
+        fn = module.function("k")
+        assert set_prediction_threshold(fn, 8, label="other") == 0
+
+    def test_compile_threshold_argument(self):
+        prog = ReconvergenceCompiler().compile(
+            listing1_module(), mode="sr", threshold=6
+        )
+        fn = prog.module.function("k")
+        soft = [
+            i for _, _, i in fn.instructions() if i.opcode is Opcode.BSYNCSOFT
+        ]
+        assert soft and soft[0].operands[1].value == 6
+
+    def test_soften_waits_post_compile(self):
+        prog = ReconvergenceCompiler(allocate=False).compile(
+            listing1_module(), mode="sr"
+        )
+        fn = prog.module.function("k")
+        barrier = prog.report.sr_reports[0].barrier
+        assert soften_waits(fn, barrier, 10) == 1
+        assert verify_function(fn)
+
+
+class TestFig6Expansion:
+    def test_expand_inserts_barcnt(self):
+        prog = ReconvergenceCompiler(allocate=False).compile(
+            listing1_module(), mode="sr"
+        )
+        fn = prog.module.function("k")
+        block, index = _find_wait(fn)
+        barrier, cnt, pred = expand_fig6_style(fn, block.name, index, 8)
+        opcodes = [i.opcode for i in block.instructions]
+        assert Opcode.BARCNT in opcodes
+        assert Opcode.BSYNCSOFT in opcodes
+        assert verify_function(fn)
+
+    def test_expanded_kernel_still_correct(self):
+        module = listing1_module()
+        baseline = ReconvergenceCompiler().compile(module, mode="baseline")
+        prog = ReconvergenceCompiler(allocate=False).compile(module, mode="sr")
+        fn = prog.module.function("k")
+        block, index = _find_wait(fn)
+        expand_fig6_style(fn, block.name, index, 8)
+        a = GPUMachine(baseline.module).launch("k", 32)
+        b = GPUMachine(prog.module).launch("k", 32)
+        assert a.memory.snapshot() == b.memory.snapshot()
+
+
+class TestThresholdSemantics:
+    def _run(self, threshold):
+        module = compile_kernel_source(loop_merge_source())
+        prog = ReconvergenceCompiler().compile(module, mode="sr", threshold=threshold)
+        return GPUMachine(prog.module).launch("lm", 32, args=(32 * 5,))
+
+    def test_results_invariant_across_thresholds(self):
+        snapshots = {k: self._run(k).memory.snapshot() for k in (None, 1, 8, 31)}
+        values = list(snapshots.values())
+        assert all(v == values[0] for v in values)
+
+    def test_threshold_one_never_parks(self):
+        # k<=1 waits degenerate to pass-through: behaves like free-running.
+        result = self._run(1)
+        assert result.simt_efficiency > 0
+
+    def test_higher_threshold_gives_higher_label_convergence(self):
+        module = compile_kernel_source(loop_merge_source())
+
+        def label_active(threshold):
+            prog = ReconvergenceCompiler().compile(
+                module, mode="sr", threshold=threshold
+            )
+            launch = GPUMachine(prog.module).launch("lm", 32, args=(32 * 5,))
+            profile = launch.profiler.block_profile("lm", "L.L1")
+            return profile.average_active
+
+        assert label_active(24) > label_active(2)

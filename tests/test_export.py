@@ -1,0 +1,40 @@
+"""JSON/CSV export tests."""
+
+import json
+
+from repro.harness.experiment import compare_all
+from repro.harness.export import (
+    collect_results,
+    comparison_rows_to_dicts,
+    main as export_main,
+    to_csv,
+)
+from tests.test_workloads import FAST_PARAMS
+
+
+class TestExport:
+    def test_rows_to_dicts(self):
+        rows = compare_all(["mcb"], params=FAST_PARAMS)
+        dicts = comparison_rows_to_dicts(rows)
+        assert dicts[0]["workload"] == "mcb"
+        assert 0 < dicts[0]["baseline_eff"] <= 1
+
+    def test_csv_roundtrip(self):
+        rows = compare_all(["mcb"], params=FAST_PARAMS)
+        text = to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("workload,")
+        assert lines[1].startswith("mcb,")
+
+    def test_collect_results_serializable(self):
+        results = collect_results(sweep_workloads=())
+        text = json.dumps(results)
+        parsed = json.loads(text)
+        assert len(parsed["figure7_8"]) == 9
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        assert export_main(["--output", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert "figure9" in data
+        assert set(data["figure9"]) == {"pathtracer", "xsbench"}

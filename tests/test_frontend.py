@@ -1,0 +1,208 @@
+"""Frontend tests: lexer, parser, lowering, coarsening."""
+
+import pytest
+
+from repro.errors import ParseError, TransformError
+from repro.frontend import (
+    ast_nodes as A,
+    coarsen_dynamic,
+    coarsen_static,
+    compile_kernel_source,
+    lower_program,
+    parse_kernel_source,
+    tokenize,
+)
+from repro.ir import Opcode, verify_module
+from repro.simt import GPUMachine, GlobalMemory
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("let x = 1.5; // comment\nx = x + 2;")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword"
+        assert "number" in kinds
+        assert kinds[-1] == "eof"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("# hash comment\n// slash comment\nx")
+        assert [t.text for t in tokens if t.kind != "eof"] == ["x"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_range_operator(self):
+        tokens = tokenize("0..10")
+        assert [t.text for t in tokens if t.kind != "eof"] == ["0", "..", "10"]
+
+    def test_at_names(self):
+        tokens = tokenize("@foo(1)")
+        assert tokens[0].kind == "at" and tokens[0].text == "@foo"
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("let x = `1`;")
+
+
+class TestParser:
+    def test_precedence(self):
+        program = parse_kernel_source("kernel k() { let x = 1 + 2 * 3; }")
+        let = program.function("k").body.statements[0]
+        assert isinstance(let.value, A.Bin) and let.value.op == "+"
+        assert isinstance(let.value.right, A.Bin) and let.value.right.op == "*"
+
+    def test_comparison_binds_looser_than_arith(self):
+        program = parse_kernel_source("kernel k() { let p = 1 + 1 < 3; }")
+        value = program.function("k").body.statements[0].value
+        assert value.op == "<"
+
+    def test_and_or(self):
+        program = parse_kernel_source("kernel k() { let p = 1 < 2 and 3 < 4 or 0; }")
+        value = program.function("k").body.statements[0].value
+        assert value.op == "or"
+
+    def test_unary_minus(self):
+        program = parse_kernel_source("kernel k() { let x = -3; }")
+        value = program.function("k").body.statements[0].value
+        assert isinstance(value, A.Un) and value.op == "-"
+
+    def test_if_else_blocks(self):
+        program = parse_kernel_source(
+            "kernel k() { if (1) { let a = 1; } else { let b = 2; } }"
+        )
+        stmt = program.function("k").body.statements[0]
+        assert isinstance(stmt, A.If) and stmt.else_body is not None
+
+    def test_for_range(self):
+        program = parse_kernel_source("kernel k() { for i in 0..8 { let x = i; } }")
+        stmt = program.function("k").body.statements[0]
+        assert isinstance(stmt, A.For) and stmt.var == "i"
+
+    def test_label_and_predict(self):
+        program = parse_kernel_source(
+            "kernel k() { predict L1, 8; label L1: let x = 1; }"
+        )
+        statements = program.function("k").body.statements
+        assert isinstance(statements[0], A.Predict)
+        assert statements[0].threshold == 8
+        assert isinstance(statements[1], A.Label)
+
+    def test_predict_function_target(self):
+        program = parse_kernel_source("kernel k() { predict @foo; }")
+        assert program.function("k").body.statements[0].target == "@foo"
+
+    def test_multiple_functions(self):
+        program = parse_kernel_source(
+            "func f(x) { return x; } kernel k() { let y = @f(1); }"
+        )
+        assert len(program.functions) == 2
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_kernel_source("kernel k() { let x = 1 }")
+
+    def test_bad_toplevel(self):
+        with pytest.raises(ParseError):
+            parse_kernel_source("banana k() {}")
+
+
+class TestLowering:
+    def test_while_condition_in_header(self):
+        module = compile_kernel_source(
+            "kernel k() { let i = 0; while (i < tid()) { i = i + 1; } }"
+        )
+        fn = module.function("k")
+        head = fn.block("while.head")
+        assert head.terminator.opcode is Opcode.CBR
+
+    def test_label_starts_new_block(self):
+        module = compile_kernel_source(
+            "kernel k() { label L1: let x = 1; store(0, x); }"
+        )
+        fn = module.function("k")
+        assert fn.blocks_with_label("L1")
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(TransformError, match="undefined variable"):
+            compile_kernel_source("kernel k() { let x = y + 1; }")
+
+    def test_assign_undeclared_rejected(self):
+        with pytest.raises(TransformError, match="undeclared"):
+            compile_kernel_source("kernel k() { x = 1; }")
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(TransformError, match="break outside"):
+            compile_kernel_source("kernel k() { break; }")
+
+    def test_unknown_callee_rejected(self):
+        with pytest.raises(TransformError, match="unknown function"):
+            compile_kernel_source("kernel k() { let x = @ghost(1); }")
+
+    def test_unreachable_blocks_pruned_and_verified(self):
+        module = compile_kernel_source(
+            "kernel k() { for i in 0..4 { break; } store(0, 1.0); }"
+        )
+        assert verify_module(module)
+
+    def test_return_in_kernel_exits(self):
+        module = compile_kernel_source(
+            "kernel k() { if (tid() < 1) { return; } store(tid(), 1.0); }"
+        )
+        result = GPUMachine(module).launch("k", 2)
+        assert result.memory.load(0) == 0
+        assert result.memory.load(1) == 1.0
+
+    def test_hash01_in_unit_interval_and_deterministic(self):
+        module = compile_kernel_source(
+            "kernel k() { store(tid(), hash01(tid() * 3.7)); }"
+        )
+        a = GPUMachine(module).launch("k", 32)
+        b = GPUMachine(module, seed=999).launch("k", 32)
+        values = [a.memory.load(i) for i in range(32)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert len(set(values)) > 16  # varied
+        # hash01 ignores the machine seed (it's input-keyed).
+        assert a.memory.snapshot() == b.memory.snapshot()
+
+
+class TestCoarsening:
+    def _one_task_kernel(self):
+        return parse_kernel_source(
+            """
+kernel k(out) {
+    store(out + task, task * 2);
+}
+"""
+        ).function("k")
+
+    def test_static_coarsening_structure(self):
+        decl = self._one_task_kernel()
+        coarsened = coarsen_static(decl)
+        assert "n_tasks" in coarsened.params
+        assert "n_threads" in coarsened.params
+        assert isinstance(coarsened.body.statements[1], A.While)
+
+    def test_static_coarsening_executes_all_tasks(self):
+        decl = self._one_task_kernel()
+        coarsened = coarsen_static(decl)
+        module = lower_program(A.Program(functions=[coarsened]))
+        memory = GlobalMemory()
+        out = memory.alloc(256, name="out")
+        result = GPUMachine(module).launch(
+            "k", 32, args=(out, 96, 32), memory=memory
+        )
+        assert all(result.memory.load(out + t) == t * 2 for t in range(96))
+
+    def test_dynamic_coarsening_executes_all_tasks(self):
+        decl = self._one_task_kernel()
+        coarsened = coarsen_dynamic(decl)
+        module = lower_program(A.Program(functions=[coarsened]))
+        memory = GlobalMemory()
+        counter = memory.alloc(1, name="counter")
+        out = memory.alloc(256, name="out")
+        result = GPUMachine(module).launch(
+            "k", 32, args=(out, 96, counter), memory=memory
+        )
+        assert all(result.memory.load(out + t) == t * 2 for t in range(96))
+        assert result.memory.load(counter) >= 96

@@ -1,0 +1,89 @@
+"""Harness tests: experiment runners, figure generators, report rendering."""
+
+import pytest
+
+from repro.harness import (
+    compare_workload,
+    efficiency_chart,
+    figure9,
+    format_bar,
+    format_table,
+    funccall_microbenchmark,
+    markdown_table,
+    table2,
+    threshold_sweep,
+)
+from tests.test_workloads import FAST_PARAMS
+
+
+class TestReportRendering:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (10, 0.125)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in text
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [(1,)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_format_bar_scales(self):
+        assert format_bar(0.5, scale=10) == "#####"
+        assert format_bar(2.0, scale=10, maximum=1.0) == "#" * 10
+
+    def test_efficiency_chart(self):
+        text = efficiency_chart([("w", 0.25, 0.75)])
+        assert "base 25.0%" in text
+        assert "+SR  75.0%" in text
+
+    def test_markdown_table(self):
+        text = markdown_table(["a", "b"], [(1, 2)])
+        assert text.splitlines()[1] == "|---|---|"
+
+
+class TestExperimentRunners:
+    def test_compare_workload(self):
+        row = compare_workload("mcb", **FAST_PARAMS["mcb"])
+        assert row.workload == "mcb"
+        assert 0 < row.baseline_eff <= 1
+        assert row.checksum_ok
+        assert row.speedup > 0
+        assert row.efficiency_gain > 0
+
+    def test_threshold_sweep_hard_tail(self):
+        baseline, points = threshold_sweep(
+            "mcb", thresholds=(4, 32), **FAST_PARAMS["mcb"]
+        )
+        assert len(points) == 2
+        # threshold >= 32 collapses to the hard barrier
+        hard = points[1]
+        assert hard.threshold == 32
+        assert hard.cycles > 0
+        assert baseline.mode == "baseline"
+
+    def test_sweep_speedups_relative_to_baseline(self):
+        baseline, points = threshold_sweep(
+            "mcb", thresholds=(8,), **FAST_PARAMS["mcb"]
+        )
+        point = points[0]
+        assert point.speedup == pytest.approx(baseline.cycles / point.cycles)
+
+
+class TestFigureGenerators:
+    def test_table2_lists_nine_benchmarks(self):
+        result = table2()
+        assert len(result.data) == 9
+        assert "rsbench" in result.text
+
+    def test_figure9_reduced(self):
+        result = figure9(thresholds=(8, 32), workloads=("mcb",))
+        assert "mcb" in result.data
+        baseline, points = result.data["mcb"]
+        assert len(points) == 2
+        assert "best threshold" in result.text
+
+    def test_funccall_microbenchmark(self):
+        result = funccall_microbenchmark()
+        data = result.data
+        assert data["sr"].simt_efficiency > data["baseline"].simt_efficiency
+        assert "speedup" in result.text

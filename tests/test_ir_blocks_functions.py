@@ -1,0 +1,204 @@
+"""Unit tests for basic blocks, functions, and modules."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    BasicBlock,
+    BlockRef,
+    Function,
+    Instruction,
+    Module,
+    Opcode,
+    Reg,
+    count_static_instructions,
+    make,
+)
+
+
+def _bra(target):
+    return make(Opcode.BRA, None, BlockRef(target))
+
+
+class TestBasicBlock:
+    def test_append_after_terminator_rejected(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.EXIT))
+        with pytest.raises(IRError):
+            block.append(Instruction(Opcode.NOP))
+
+    def test_terminator_none_when_open(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.NOP))
+        assert block.terminator is None
+
+    def test_insert_terminator_midblock_rejected(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.NOP))
+        with pytest.raises(IRError):
+            block.insert(0, Instruction(Opcode.EXIT))
+
+    def test_insert_before_terminator(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.EXIT))
+        block.insert_before_terminator(Instruction(Opcode.NOP))
+        assert block.instructions[0].opcode is Opcode.NOP
+        assert block.terminator.opcode is Opcode.EXIT
+
+    def test_prepend(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.EXIT))
+        block.prepend(Instruction(Opcode.NOP))
+        assert block.instructions[0].opcode is Opcode.NOP
+
+    def test_index_of_uses_identity(self):
+        block = BasicBlock("b")
+        first = block.append(Instruction(Opcode.NOP))
+        second = block.append(Instruction(Opcode.NOP))
+        assert block.index_of(first) == 0
+        assert block.index_of(second) == 1
+
+    def test_successor_names_from_cbr(self):
+        block = BasicBlock("b")
+        block.append(make(Opcode.CBR, None, Reg("p"), BlockRef("x"), BlockRef("y")))
+        assert block.successor_names() == ["x", "y"]
+
+    def test_label_attr(self):
+        block = BasicBlock("b", attrs={"label": "L1"})
+        assert block.label == "L1"
+
+    def test_count_static_instructions_skips_markers(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.NOP))
+        block.append(Instruction(Opcode.PREDICT, attrs={"label": "L"}))
+        block.append(Instruction(Opcode.EXIT))
+        assert count_static_instructions([block]) == 1
+
+
+class TestFunction:
+    def test_entry_is_first_block(self):
+        fn = Function("f")
+        first = fn.new_block("a")
+        fn.new_block("b")
+        assert fn.entry is first
+
+    def test_new_block_names_unique(self):
+        fn = Function("f")
+        a = fn.new_block("x")
+        b = fn.new_block("x")
+        assert a.name != b.name
+
+    def test_duplicate_add_block_rejected(self):
+        fn = Function("f")
+        fn.add_block(BasicBlock("x"))
+        with pytest.raises(IRError):
+            fn.add_block(BasicBlock("x"))
+
+    def test_block_lookup_missing(self):
+        fn = Function("f")
+        with pytest.raises(IRError):
+            fn.block("nope")
+
+    def test_new_reg_unique(self):
+        fn = Function("f")
+        assert fn.new_reg() != fn.new_reg()
+
+    def test_predecessors_and_successors(self):
+        fn = Function("f")
+        a = fn.new_block("a")
+        b = fn.new_block("b")
+        a.append(_bra("b"))
+        b.append(Instruction(Opcode.EXIT))
+        assert fn.successors() == {"a": ["b"], "b": []}
+        assert fn.predecessors() == {"a": [], "b": ["a"]}
+
+    def test_branch_to_unknown_block_caught(self):
+        fn = Function("f")
+        a = fn.new_block("a")
+        a.append(_bra("ghost"))
+        with pytest.raises(IRError):
+            fn.predecessors()
+
+    def test_edges(self):
+        fn = Function("f")
+        a = fn.new_block("a")
+        b = fn.new_block("b")
+        a.append(make(Opcode.CBR, None, Reg("p"), BlockRef("b"), BlockRef("a")))
+        b.append(Instruction(Opcode.EXIT))
+        assert set(fn.edges()) == {("a", "b"), ("a", "a")}
+
+    def test_exit_blocks(self):
+        fn = Function("f")
+        a = fn.new_block("a")
+        b = fn.new_block("b")
+        a.append(_bra("b"))
+        b.append(Instruction(Opcode.RET))
+        assert fn.exit_blocks() == [b]
+
+    def test_split_edge(self):
+        fn = Function("f")
+        a = fn.new_block("a")
+        b = fn.new_block("b")
+        a.append(_bra("b"))
+        b.append(Instruction(Opcode.EXIT))
+        mid = fn.split_edge("a", "b")
+        assert a.successor_names() == [mid.name]
+        assert mid.successor_names() == ["b"]
+
+    def test_split_missing_edge_rejected(self):
+        fn = Function("f")
+        a = fn.new_block("a")
+        b = fn.new_block("b")
+        a.append(Instruction(Opcode.EXIT))
+        b.append(Instruction(Opcode.EXIT))
+        with pytest.raises(IRError):
+            fn.split_edge("a", "b")
+
+    def test_clone_is_independent(self):
+        fn = Function("f", is_kernel=True)
+        a = fn.new_block("a")
+        a.append(make(Opcode.CONST, Reg("x"), __import__("repro.ir.instructions", fromlist=["Imm"]).Imm(1)))
+        a.append(Instruction(Opcode.EXIT))
+        clone = fn.clone()
+        clone.block("a").instructions[0].operands[0] = None
+        assert fn.block("a").instructions[0].operands[0] is not None
+        assert clone.is_kernel
+
+    def test_blocks_with_label(self):
+        fn = Function("f")
+        fn.new_block("a", attrs={"label": "L"})
+        fn.new_block("b")
+        assert [b.name for b in fn.blocks_with_label("L")] == ["a"]
+
+
+class TestModule:
+    def test_add_and_lookup(self):
+        module = Module("m")
+        fn = Function("f")
+        module.add(fn)
+        assert module.function("f") is fn
+
+    def test_duplicate_function_rejected(self):
+        module = Module("m")
+        module.add(Function("f"))
+        with pytest.raises(IRError):
+            module.add(Function("f"))
+
+    def test_missing_function(self):
+        with pytest.raises(IRError):
+            Module("m").function("f")
+
+    def test_kernels_filter(self):
+        module = Module("m")
+        module.add(Function("k", is_kernel=True))
+        module.add(Function("d"))
+        assert [fn.name for fn in module.kernels()] == ["k"]
+
+    def test_clone_clones_all_functions(self):
+        module = Module("m")
+        fn = Function("f")
+        fn.new_block("a").append(Instruction(Opcode.EXIT))
+        module.add(fn)
+        clone = module.clone()
+        assert clone.function("f") is not fn
+        assert clone.function("f").block("a").terminator.opcode is Opcode.EXIT

@@ -1,0 +1,180 @@
+"""Round-trip and error tests for the IR text format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.ir import (
+    Barrier,
+    BlockRef,
+    Function,
+    Imm,
+    Instruction,
+    Module,
+    Opcode,
+    Reg,
+    format_function,
+    format_instruction,
+    format_module,
+    make,
+    parse_function,
+    parse_module,
+)
+from tests.helpers import listing1_module
+
+
+def roundtrip(module):
+    text = format_module(module)
+    reparsed = parse_module(text)
+    assert format_module(reparsed) == text
+    return reparsed
+
+
+class TestPrinter:
+    def test_instruction_with_dst(self):
+        text = format_instruction(make(Opcode.ADD, Reg("d"), Reg("a"), Imm(1)))
+        assert text == "%d = add %a, 1"
+
+    def test_instruction_attrs_printed(self):
+        text = format_instruction(
+            make(Opcode.BSSY, None, Barrier("b0"), role="join", origin="sr")
+        )
+        assert '!{role="join", origin="sr"}' in text
+
+    def test_float_immediates_keep_point(self):
+        text = format_instruction(make(Opcode.CONST, Reg("c"), Imm(1.5)))
+        assert "1.5" in text
+
+    def test_negative_immediate(self):
+        text = format_instruction(make(Opcode.CONST, Reg("c"), Imm(-3)))
+        assert "-3" in text
+
+
+class TestRoundTrip:
+    def test_listing1_roundtrip(self):
+        roundtrip(listing1_module())
+
+    def test_kernel_flag_preserved(self):
+        module = listing1_module()
+        reparsed = roundtrip(module)
+        assert reparsed.function("k").is_kernel
+
+    def test_block_attrs_preserved(self):
+        reparsed = roundtrip(listing1_module())
+        assert reparsed.function("k").block("then").label == "L1"
+
+    def test_params_preserved(self):
+        fn = Function("f", params=[Reg("a"), Reg("b")])
+        block = fn.new_block("entry")
+        block.append(make(Opcode.RET, None, Reg("a")))
+        module = Module("m")
+        module.add(fn)
+        reparsed = roundtrip(module)
+        assert reparsed.function("f").params == [Reg("a"), Reg("b")]
+
+    def test_barrier_and_soft_sync_roundtrip(self):
+        fn = Function("f", is_kernel=True)
+        block = fn.new_block("entry")
+        block.append(make(Opcode.BSSY, None, Barrier("B0")))
+        block.append(make(Opcode.BSYNCSOFT, None, Barrier("B0"), Imm(8)))
+        block.append(make(Opcode.BBREAK, None, Barrier("B0")))
+        block.append(make(Opcode.BMOV, Reg("bt"), Barrier("B0")))
+        block.append(make(Opcode.BARCNT, Reg("c"), Reg("bt")))
+        block.append(Instruction(Opcode.EXIT))
+        module = Module("m")
+        module.add(fn)
+        reparsed = roundtrip(module)
+        ops = [i.opcode for i in reparsed.function("f").block("entry")]
+        assert Opcode.BSYNCSOFT in ops and Opcode.BMOV in ops
+
+    def test_predict_directive_roundtrip(self):
+        reparsed = roundtrip(listing1_module(with_predict=True))
+        entry = reparsed.function("k").block("entry")
+        predicts = [i for i in entry if i.opcode is Opcode.PREDICT]
+        assert len(predicts) == 1
+        assert predicts[0].attrs["label"] == "L1"
+
+    def test_multi_function_module(self):
+        text = """
+func @helper(%x) {
+entry:
+  %y = mul %x, 2
+  ret %y
+}
+
+func @main() kernel {
+entry:
+  %a = const 3
+  %r = call @helper, %a
+  exit
+}
+"""
+        module = parse_module(text)
+        assert set(module.functions) == {"helper", "main"}
+        assert format_module(parse_module(format_module(module))) == format_module(module)
+
+
+class TestParserErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(ParseError):
+            parse_function("func @f() {\nentry:\n  frobnicate\n}")
+
+    def test_unterminated_function(self):
+        with pytest.raises(ParseError):
+            parse_function("func @f() {\nentry:\n  exit\n")
+
+    def test_bad_operand(self):
+        with pytest.raises(ParseError):
+            parse_function("func @f() {\nentry:\n  bra }\n}")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_module("func @f() { entry: exit ~ }")
+
+    def test_parse_function_requires_exactly_one(self):
+        with pytest.raises(ParseError):
+            parse_function(
+                "func @a() {\nentry:\n  exit\n}\nfunc @b() {\nentry:\n  exit\n}"
+            )
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_function("func @f() {\nentry:\n  frobnicate\n}")
+        except ParseError as err:
+            assert err.line == 3
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+_SIMPLE_BINOPS = [Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.MIN, Opcode.CMPLT]
+
+
+@st.composite
+def random_linear_function(draw):
+    """A random straight-line function for round-trip property tests."""
+    fn = Function("f", is_kernel=True)
+    block = fn.new_block("entry")
+    regs = []
+    first = fn.new_reg("c")
+    block.append(make(Opcode.CONST, first, Imm(draw(st.integers(-100, 100)))))
+    regs.append(first)
+    for index in range(draw(st.integers(0, 12))):
+        opcode = draw(st.sampled_from(_SIMPLE_BINOPS))
+        dst = fn.new_reg("t")
+        a = draw(st.sampled_from(regs))
+        b_choice = draw(st.one_of(st.sampled_from(regs), st.integers(-9, 9)))
+        operand = b_choice if isinstance(b_choice, Reg) else Imm(b_choice)
+        block.append(make(opcode, dst, a, operand))
+        regs.append(dst)
+    block.append(Instruction(Opcode.EXIT))
+    module = Module("m")
+    module.add(fn)
+    return module
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(random_linear_function())
+    def test_random_functions_roundtrip(self, module):
+        roundtrip(module)

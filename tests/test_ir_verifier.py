@@ -1,0 +1,163 @@
+"""IR verifier violation tests."""
+
+import pytest
+
+from repro.errors import VerifierError
+from repro.ir import (
+    BlockRef,
+    FuncRef,
+    Function,
+    Imm,
+    Instruction,
+    Module,
+    Opcode,
+    Reg,
+    make,
+    verify_function,
+    verify_module,
+)
+from tests.helpers import listing1_module
+
+
+def _kernel_with(instructions):
+    fn = Function("f", is_kernel=True)
+    block = fn.new_block("entry")
+    for instr in instructions:
+        block.instructions.append(instr)  # bypass append() checks on purpose
+    return fn
+
+
+class TestStructure:
+    def test_valid_listing1_verifies(self):
+        assert verify_module(listing1_module())
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(VerifierError):
+            verify_function(Function("f"))
+
+    def test_empty_block_rejected(self):
+        fn = Function("f")
+        fn.new_block("entry")
+        with pytest.raises(VerifierError, match="empty block"):
+            verify_function(fn)
+
+    def test_missing_terminator_rejected(self):
+        fn = _kernel_with([Instruction(Opcode.NOP)])
+        with pytest.raises(VerifierError, match="terminator"):
+            verify_function(fn)
+
+    def test_terminator_midblock_rejected(self):
+        fn = _kernel_with([Instruction(Opcode.EXIT), Instruction(Opcode.NOP), Instruction(Opcode.EXIT)])
+        with pytest.raises(VerifierError, match="not at block end"):
+            verify_function(fn)
+
+    def test_unknown_branch_target_rejected(self):
+        fn = _kernel_with([make(Opcode.BRA, None, BlockRef("ghost"))])
+        with pytest.raises(VerifierError, match="unknown block"):
+            verify_function(fn)
+
+    def test_unknown_callee_rejected_with_module(self):
+        module = Module("m")
+        fn = _kernel_with(
+            [make(Opcode.CALL, Reg("r"), FuncRef("ghost")), Instruction(Opcode.EXIT)]
+        )
+        module.add(fn)
+        with pytest.raises(VerifierError, match="unknown function"):
+            verify_module(module)
+
+
+class TestOperandShapes:
+    def test_binary_arity_enforced(self):
+        fn = _kernel_with(
+            [make(Opcode.ADD, Reg("d"), Reg("a")), Instruction(Opcode.EXIT)]
+        )
+        with pytest.raises(VerifierError, match="expects 2 operands"):
+            verify_function(fn, check_defs=False)
+
+    def test_dst_required_for_value_ops(self):
+        fn = _kernel_with(
+            [make(Opcode.ADD, None, Reg("a"), Reg("b")), Instruction(Opcode.EXIT)]
+        )
+        with pytest.raises(VerifierError, match="must define"):
+            verify_function(fn, check_defs=False)
+
+    def test_dst_forbidden_for_stores(self):
+        fn = _kernel_with(
+            [make(Opcode.ST, Reg("d"), Reg("a"), Reg("v")), Instruction(Opcode.EXIT)]
+        )
+        with pytest.raises(VerifierError, match="must not define"):
+            verify_function(fn, check_defs=False)
+
+    def test_bra_target_must_be_block(self):
+        fn = _kernel_with([make(Opcode.BRA, None, Reg("x"))])
+        with pytest.raises(VerifierError):
+            verify_function(fn, check_defs=False)
+
+    def test_cbr_targets_must_be_blocks(self):
+        fn = _kernel_with([make(Opcode.CBR, None, Reg("p"), Reg("x"), BlockRef("entry"))])
+        with pytest.raises(VerifierError, match="cbr targets"):
+            verify_function(fn, check_defs=False)
+
+    def test_barrier_needs_barrier_operand(self):
+        fn = _kernel_with(
+            [make(Opcode.BSSY, None, Imm(3)), Instruction(Opcode.EXIT)]
+        )
+        with pytest.raises(VerifierError, match="barrier"):
+            verify_function(fn, check_defs=False)
+
+    def test_ret_at_most_one_operand(self):
+        fn = _kernel_with([make(Opcode.RET, None, Reg("a"), Reg("b"))])
+        with pytest.raises(VerifierError):
+            verify_function(fn, check_defs=False)
+
+    def test_call_optional_dst_ok(self):
+        module = Module("m")
+        helper = Function("h")
+        block = helper.new_block("entry")
+        block.append(Instruction(Opcode.RET))
+        module.add(helper)
+        fn = _kernel_with(
+            [make(Opcode.CALL, None, FuncRef("h")), Instruction(Opcode.EXIT)]
+        )
+        module.add(fn)
+        assert verify_module(module, check_defs=False)
+
+
+class TestDefBeforeUse:
+    def test_use_before_def_rejected(self):
+        fn = _kernel_with(
+            [
+                make(Opcode.ADD, Reg("d"), Reg("undefined"), Imm(1)),
+                Instruction(Opcode.EXIT),
+            ]
+        )
+        with pytest.raises(VerifierError, match="used before any definition"):
+            verify_function(fn)
+
+    def test_def_on_one_path_only_rejected(self):
+        fn = Function("f", is_kernel=True)
+        entry = fn.new_block("entry")
+        then_block = fn.new_block("then")
+        join = fn.new_block("join")
+        p = fn.new_reg("p")
+        entry.append(make(Opcode.TID, p))
+        entry.append(make(Opcode.CBR, None, p, BlockRef("then"), BlockRef("join")))
+        x = fn.new_reg("x")
+        then_block.append(make(Opcode.CONST, x, Imm(1)))
+        then_block.append(make(Opcode.BRA, None, BlockRef("join")))
+        join.append(make(Opcode.ST, None, p, x))  # x undefined on else path
+        join.append(Instruction(Opcode.EXIT))
+        with pytest.raises(VerifierError, match="%x"):
+            verify_function(fn)
+
+    def test_loop_carried_defs_accepted(self):
+        from tests.helpers import loop_function
+
+        module, fn = loop_function()
+        assert verify_function(fn)
+
+    def test_params_count_as_defined(self):
+        fn = Function("f", params=[Reg("a")])
+        block = fn.new_block("entry")
+        block.append(make(Opcode.RET, None, Reg("a")))
+        assert verify_function(fn)

@@ -1,0 +1,134 @@
+"""Loop-transform interaction tests (Section 6)."""
+
+import pytest
+
+from repro.core import ReconvergenceCompiler
+from repro.errors import TransformError
+from repro.frontend import (
+    ast_nodes as A,
+    fully_unroll_for,
+    parse_kernel_source,
+    unroll_labeled_while,
+    unroll_while,
+)
+from repro.frontend.lower import lower_program
+from repro.ir import verify_module
+from repro.simt import GPUMachine
+from tests.helpers import loop_merge_source
+
+
+def _program(decl):
+    return A.Program(functions=[decl])
+
+
+def _loop_merge_decl():
+    return parse_kernel_source(loop_merge_source()).function("lm")
+
+
+class TestUnrollWhile:
+    def test_factor_below_two_rejected(self):
+        loop = A.While(A.Num(1), A.Block([]))
+        with pytest.raises(TransformError):
+            unroll_while(loop, 1)
+
+    def test_needs_a_while(self):
+        with pytest.raises(TransformError):
+            unroll_while(A.Block([]), 2)
+
+    def test_unrolled_loop_preserves_results(self):
+        decl = _loop_merge_decl()
+        unrolled = unroll_labeled_while(decl, "L1", 3)
+        base_module = lower_program(_program(decl))
+        unrolled_module = lower_program(_program(unrolled))
+        assert verify_module(unrolled_module)
+        a = GPUMachine(base_module).launch("lm", 32, args=(96,))
+        b = GPUMachine(unrolled_module).launch("lm", 32, args=(96,))
+        assert a.memory.snapshot() == b.memory.snapshot()
+
+    def test_label_survives_once(self):
+        decl = _loop_merge_decl()
+        unrolled = unroll_labeled_while(decl, "L1", 4)
+        module = lower_program(_program(unrolled))
+        assert len(module.function("lm").blocks_with_label("L1")) == 1
+
+    def test_missing_label_rejected(self):
+        decl = _loop_merge_decl()
+        with pytest.raises(TransformError, match="no while loop"):
+            unroll_labeled_while(decl, "nope", 2)
+
+    def test_loop_merge_still_applies_with_fewer_waits(self):
+        """'Reconvergence is needed only once per N iterations ... which
+        may reduce the overhead of synchronization' (Section 6)."""
+        decl = _loop_merge_decl()
+        unrolled = unroll_labeled_while(decl, "L1", 4)
+        compiler = ReconvergenceCompiler()
+
+        def run(d):
+            prog = compiler.compile(lower_program(_program(d)), mode="sr")
+            return GPUMachine(prog.module).launch("lm", 32, args=(96,))
+
+        plain = run(decl)
+        rolled = run(unrolled)
+        assert plain.memory.snapshot() == rolled.memory.snapshot()
+        # The unrolled variant executes fewer barrier instructions.
+        assert rolled.profiler.barrier_issues < plain.profiler.barrier_issues
+
+
+class TestFullyUnrollFor:
+    def test_constant_loop_unrolls(self):
+        loop = A.For(
+            "i",
+            A.Num(0),
+            A.Num(3),
+            A.Block([A.Store(A.Var("i"), A.Var("i"))]),
+        )
+        block = fully_unroll_for(loop)
+        stores = [s for s in block.statements if isinstance(s, A.Store)]
+        assert len(stores) == 3
+
+    def test_unrolled_results_match(self):
+        body = A.Block(
+            [
+                A.Assign("acc", A.Bin("+", A.Var("acc"), A.Var("i"))),
+            ]
+        )
+        loop = A.For("i", A.Num(0), A.Num(5), body)
+        rolled = A.FuncDecl(
+            "k",
+            [],
+            A.Block(
+                [A.Let("acc", A.Num(0)), loop, A.Store(A.CallExpr("tid", []), A.Var("acc"))]
+            ),
+            is_kernel=True,
+        )
+        import copy
+
+        unrolled_loop = fully_unroll_for(copy.deepcopy(loop))
+        unrolled = A.FuncDecl(
+            "k",
+            [],
+            A.Block(
+                [A.Let("acc", A.Num(0)), unrolled_loop, A.Store(A.CallExpr("tid", []), A.Var("acc"))]
+            ),
+            is_kernel=True,
+        )
+        a = GPUMachine(lower_program(_program(rolled))).launch("k", 4)
+        b = GPUMachine(lower_program(_program(unrolled))).launch("k", 4)
+        assert a.memory.snapshot() == b.memory.snapshot()
+
+    def test_refuses_labeled_body(self):
+        """'If a loop is completely unrolled, Iteration Delay and Loop
+        Merge cannot be applied' — surfaced as an explicit error."""
+        loop = A.For(
+            "i",
+            A.Num(0),
+            A.Num(3),
+            A.Block([A.Label("L1", A.Store(A.Num(0), A.Num(1)))]),
+        )
+        with pytest.raises(TransformError, match="reconvergence point"):
+            fully_unroll_for(loop)
+
+    def test_refuses_dynamic_range(self):
+        loop = A.For("i", A.Num(0), A.Var("n"), A.Block([]))
+        with pytest.raises(TransformError, match="constant-range"):
+            fully_unroll_for(loop)

@@ -1,0 +1,143 @@
+"""Multi-warp launches and multiple concurrent predictions (Section 6)."""
+
+import pytest
+
+from repro.core import ReconvergenceCompiler, compile_baseline, compile_sr
+from repro.frontend import compile_kernel_source
+from repro.ir import verify_module
+from repro.simt import WARP_SIZE, GPUMachine, GlobalMemory
+from tests.helpers import listing1_module, loop_merge_source
+
+MULTI_PREDICTION_SRC = """
+kernel mp(n_tasks) {
+    let acc = 0.0;
+    let t = tid();
+    predict L1;
+    while (t < n_tasks) {
+        let u = hash01(t * 1.9);
+        let trips = floor(u * u * 16.0) + 1;
+        let j = 0;
+        while (j < trips) {
+            label L1: acc = fma(acc, 1.0000001, 0.5);
+            acc = fma(acc, 1.0000001, 0.5);
+            acc = fma(acc, 1.0000001, 0.5);
+            acc = fma(acc, 1.0000001, 0.5);
+            j = j + 1;
+        }
+        predict L2;
+        if (hash01(t * 7.7) < 0.3) {
+            label L2: acc = fma(acc, 1.01, 0.25);
+            acc = fma(acc, 1.01, 0.25);
+            acc = fma(acc, 1.01, 0.25);
+            acc = fma(acc, 1.01, 0.25);
+            acc = fma(acc, 1.01, 0.25);
+            acc = fma(acc, 1.01, 0.25);
+        }
+        t = t + 32;
+    }
+    store(tid(), acc);
+}
+"""
+
+
+class TestMultiWarp:
+    def test_warps_partition_threads(self):
+        module = compile_kernel_source("kernel k() { store(tid(), warpid()); }")
+        result = GPUMachine(module).launch("k", 100)
+        assert result.memory.load(0) == 0
+        assert result.memory.load(99) == 3
+
+    def test_barriers_are_per_warp(self):
+        # A full Loop Merge kernel across 4 warps: each warp synchronizes
+        # independently; results still identical to baseline.
+        module = compile_kernel_source(loop_merge_source())
+        base = compile_baseline(module)
+        sr = compile_sr(module)
+        n = WARP_SIZE * 4
+        a = GPUMachine(base.module).launch("lm", n, args=(n * 4,))
+        b = GPUMachine(sr.module).launch("lm", n, args=(n * 4,))
+        assert a.memory.snapshot() == b.memory.snapshot()
+
+    def test_multiwarp_efficiency_aggregates(self):
+        module = compile_kernel_source(loop_merge_source())
+        sr = compile_sr(module)
+        one = GPUMachine(sr.module).launch("lm", WARP_SIZE, args=(WARP_SIZE * 4,))
+        four = GPUMachine(sr.module).launch(
+            "lm", WARP_SIZE * 4, args=(WARP_SIZE * 4 * 4,)
+        )
+        assert abs(one.simt_efficiency - four.simt_efficiency) < 0.15
+
+    def test_kernel_time_is_slowest_warp(self):
+        module = compile_kernel_source(loop_merge_source())
+        sr = compile_sr(module)
+        result = GPUMachine(sr.module).launch("lm", WARP_SIZE * 2, args=(128,))
+        assert result.cycles == max(result.profiler.warp_cycles.values())
+
+    def test_partial_last_warp(self):
+        module = compile_kernel_source("kernel k() { store(tid(), 1.0); }")
+        result = GPUMachine(module).launch("k", 40)
+        assert sum(result.memory.snapshot().values()) == 40
+
+    def test_cross_warp_atomics(self):
+        module = compile_kernel_source(
+            "kernel k() { let t = atomadd(0, 1); store(100 + t, 1.0); }"
+        )
+        result = GPUMachine(module).launch("k", 96)
+        assert result.memory.load(0) == 96
+        assert all(result.memory.load(100 + i) == 1.0 for i in range(96))
+
+
+class TestConcurrentPredictions:
+    """Section 6: "Our method can also support multiple concurrent
+    predictions within a region. If these predictions are exclusive, they
+    can be supported using deconfliction."""
+
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        module = compile_kernel_source(MULTI_PREDICTION_SRC)
+        return module, ReconvergenceCompiler().compile(module, mode="sr")
+
+    def test_both_predictions_processed(self, compiled):
+        _, prog = compiled
+        assert len(prog.report.predictions) == 2
+        assert len(prog.report.sr_reports) == 2
+        assert verify_module(prog.module)
+
+    def test_runs_without_deadlock_and_matches_baseline(self, compiled):
+        module, prog = compiled
+        base = ReconvergenceCompiler().compile(module, mode="baseline")
+        a = GPUMachine(base.module).launch("mp", 32, args=(128,))
+        b = GPUMachine(prog.module).launch("mp", 32, args=(128,))
+        assert a.memory.snapshot() == b.memory.snapshot()
+
+    def test_deconfliction_covers_sr_vs_sr(self, compiled):
+        _, prog = compiled
+        # At least one deconfliction report mentions conflicts; the
+        # machinery resolved whatever overlapped.
+        conflicts = [
+            c
+            for report in prog.report.deconfliction_reports
+            for c in report.conflicts
+        ]
+        assert conflicts  # L1/L2 regions overlap with pdom and each other
+
+    def test_soft_thresholds_apply_to_both(self):
+        module = compile_kernel_source(MULTI_PREDICTION_SRC)
+        prog = ReconvergenceCompiler().compile(module, mode="sr", threshold=8)
+        from repro.ir import Opcode
+
+        soft = [
+            i
+            for _, _, i in prog.module.function("mp").instructions()
+            if i.opcode is Opcode.BSYNCSOFT
+        ]
+        assert len(soft) == 2
+
+    def test_multiwarp_multiprediction(self):
+        module = compile_kernel_source(MULTI_PREDICTION_SRC)
+        base = ReconvergenceCompiler().compile(module, mode="baseline")
+        sr = ReconvergenceCompiler().compile(module, mode="sr")
+        n = WARP_SIZE * 3
+        a = GPUMachine(base.module).launch("mp", n, args=(n * 3,))
+        b = GPUMachine(sr.module).launch("mp", n, args=(n * 3,))
+        assert a.memory.snapshot() == b.memory.snapshot()

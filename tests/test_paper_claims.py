@@ -1,0 +1,156 @@
+"""Integration tests pinning the paper's headline claims (Section 5).
+
+These assert the *shape* of the results — who wins, roughly by how much,
+where the crossovers fall — not absolute numbers.
+"""
+
+import pytest
+
+from repro.harness import compare_all, threshold_sweep
+from repro.workloads import FIGURE7_WORKLOADS, get_workload
+from repro.workloads.corpus import generate_corpus, run_funnel
+
+
+@pytest.fixture(scope="module")
+def figure7_rows():
+    return {row.workload: row for row in compare_all(FIGURE7_WORKLOADS)}
+
+
+class TestFigure7:
+    """SR improves SIMT efficiency on every studied workload."""
+
+    @pytest.mark.parametrize("name", FIGURE7_WORKLOADS)
+    def test_simt_efficiency_improves(self, figure7_rows, name):
+        row = figure7_rows[name]
+        assert row.sr_eff > row.baseline_eff, (
+            f"{name}: {row.baseline_eff:.3f} -> {row.sr_eff:.3f}"
+        )
+
+    @pytest.mark.parametrize("name", FIGURE7_WORKLOADS)
+    def test_results_unchanged(self, figure7_rows, name):
+        assert figure7_rows[name].checksum_ok
+
+    def test_improvements_in_paper_band(self, figure7_rows):
+        """Paper: 'improvements ranging from 10% to 3x'."""
+        gains = [row.efficiency_gain for row in figure7_rows.values()]
+        assert all(1.10 <= gain <= 3.0 for gain in gains), gains
+
+    def test_workloads_start_inefficient(self, figure7_rows):
+        """'Many of these applications exhibit relatively low SIMT
+        efficiency in their default state.'"""
+        assert sum(
+            1 for row in figure7_rows.values() if row.baseline_eff < 0.6
+        ) >= 6
+
+
+class TestFigure8:
+    """Speedups track (and are bounded by) efficiency improvements."""
+
+    @pytest.mark.parametrize("name", FIGURE7_WORKLOADS)
+    def test_speedup_positive(self, figure7_rows, name):
+        assert figure7_rows[name].speedup > 1.0
+
+    @pytest.mark.parametrize("name", FIGURE7_WORKLOADS)
+    def test_efficiency_gain_upper_bounds_speedup(self, figure7_rows, name):
+        """'SIMT efficiency improvement serves roughly as an upper bound on
+        speedup' — allow 10% slack for the 'roughly'."""
+        row = figure7_rows[name]
+        assert row.speedup <= row.efficiency_gain * 1.10
+
+
+class TestFigure9:
+    """The soft-barrier threshold trade-off (Section 5.3)."""
+
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        thresholds = (0, 4, 8, 16, 24, 28, 32)
+        return {
+            name: threshold_sweep(name, thresholds=thresholds)
+            for name in ("pathtracer", "xsbench")
+        }
+
+    def test_pathtracer_peaks_at_full_convergence(self, sweeps):
+        _, points = sweeps["pathtracer"]
+        best = max(points, key=lambda p: p.speedup)
+        assert best.threshold >= 24
+
+    def test_xsbench_peaks_at_low_threshold(self, sweeps):
+        _, points = sweeps["xsbench"]
+        best = max(points, key=lambda p: p.speedup)
+        assert best.threshold <= 16
+
+    def test_xsbench_hard_barrier_is_catastrophic(self, sweeps):
+        """'executing this process every time one or a few threads become
+        idle is not profitable' — the full barrier badly regresses."""
+        _, points = sweeps["xsbench"]
+        hard = next(p for p in points if p.threshold == 32)
+        assert hard.speedup < 0.8
+
+    def test_pathtracer_speedup_monotone_with_threshold(self, sweeps):
+        _, points = sweeps["pathtracer"]
+        speedups = [p.speedup for p in points]
+        # Allow small noise; overall trend must rise.
+        assert speedups[-1] > speedups[0]
+        assert speedups[-1] == max(speedups)
+
+
+class TestSection54Funnel:
+    """520 apps -> 75 low-efficiency -> 16 detected -> 5 significant.
+
+    Run at reduced corpus scale with the same detectable population; the
+    full-size funnel runs in benchmarks/bench_corpus.py.
+    """
+
+    @pytest.fixture(scope="class")
+    def funnel(self):
+        counts = {"uniform": 12, "mild": 6, "disjoint": 10, "detectable": 16}
+        return run_funnel(generate_corpus(counts=counts))
+
+    def test_detected_exactly_sixteen(self, funnel):
+        assert funnel.detected == 16
+
+    def test_significant_exactly_five(self, funnel):
+        assert funnel.significant == 5
+
+    def test_low_efficiency_equals_divergent_population(self, funnel):
+        assert funnel.low_efficiency == 26  # disjoint + detectable
+
+
+class TestFunctionCallMicrobenchmark:
+    """Section 4.4 / Figure 2(c): reconverging inside the callee."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        workload = get_workload("funccall")
+        return workload, workload.run(mode="baseline"), workload.run(mode="sr")
+
+    def test_shade_body_fully_converges(self, results):
+        workload, baseline, optimized = results
+        assert workload.shade_efficiency(optimized.launch) > 0.95
+
+    def test_baseline_shade_serialized(self, results):
+        workload, baseline, optimized = results
+        assert workload.shade_efficiency(baseline.launch) < 0.7
+
+    def test_speedup(self, results):
+        workload, baseline, optimized = results
+        assert baseline.cycles / optimized.cycles > 1.3
+
+
+class TestAutomaticMatchesAnnotated:
+    """'Automatic Speculative Reconvergence performs the same as
+    programmer-annotated variants' (Section 5.4)."""
+
+    @pytest.mark.parametrize("name", ("rsbench", "mcb", "optix"))
+    def test_auto_within_15_percent_of_annotated(self, name):
+        workload = get_workload(name)
+        baseline = workload.run(mode="baseline")
+        annotated = workload.run(mode="sr")
+        auto = workload.run(
+            mode="auto",
+            threshold=None,
+            auto_options={"auto_threshold": workload.sr_threshold or 16},
+        )
+        annotated_speedup = baseline.cycles / annotated.cycles
+        auto_speedup = baseline.cycles / auto.cycles
+        assert auto_speedup == pytest.approx(annotated_speedup, rel=0.15)

@@ -1,0 +1,84 @@
+"""Differential tests: warp execution vs single-thread reference.
+
+Every thread's store trace under full warp execution — any sync mode, any
+threshold — must equal its isolated single-thread reference execution.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import ReconvergenceCompiler
+from repro.errors import LaunchError
+from repro.frontend import compile_kernel_source
+from repro.simt import GPUMachine, GlobalMemory
+from repro.simt.reference import run_reference_launch, run_reference_thread
+from tests.helpers import loop_merge_source
+from tests.test_properties import random_kernel
+from repro.frontend.lower import lower_program
+
+SIMPLE = "kernel k() { store(tid(), tid() * 3.0 + 1.0); }"
+
+DIVERGENT = """
+kernel k() {
+    let acc = 0.0;
+    let t = tid();
+    for i in 0..10 {
+        if (hash01(t * 31.0 + i) < 0.4) {
+            acc = fma(acc, 1.01, 0.5);
+            acc = fma(acc, 1.01, 0.5);
+        }
+        acc = acc + 0.125;
+    }
+    store(t, acc);
+}
+"""
+
+
+class TestReferenceRunner:
+    def test_single_thread_trace(self):
+        module = compile_kernel_source(SIMPLE)
+        thread = run_reference_thread(module, "k", 5, 32)
+        assert thread.store_trace == [(5, 16.0)]
+
+    def test_lane_semantics_preserved(self):
+        module = compile_kernel_source("kernel k() { store(tid(), lane()); }")
+        thread = run_reference_thread(module, "k", 40, 64)
+        assert thread.store_trace == [(40, 8)]
+
+    def test_tid_bounds_checked(self):
+        module = compile_kernel_source(SIMPLE)
+        with pytest.raises(LaunchError):
+            run_reference_thread(module, "k", 32, 32)
+
+    def test_barriers_release_immediately(self):
+        # A compiled (barrier-carrying) kernel runs fine in isolation.
+        module = compile_kernel_source(loop_merge_source())
+        compiled = ReconvergenceCompiler().compile(module, mode="sr", threshold=8)
+        thread = run_reference_thread(compiled.module, "lm", 3, 32, args=(96,))
+        assert thread.store_trace
+
+
+class TestDifferential:
+    def _compare(self, module, n=32, args=()):
+        reference = run_reference_launch(module, module.kernels()[0].name, n, args=args)
+        for mode in ("baseline", "sr", "none"):
+            compiled = ReconvergenceCompiler().compile(module, mode=mode)
+            launch = GPUMachine(compiled.module).launch(
+                module.kernels()[0].name, n, args=args, memory=GlobalMemory()
+            )
+            assert launch.store_traces() == reference, mode
+
+    def test_simple(self):
+        self._compare(compile_kernel_source(SIMPLE))
+
+    def test_divergent(self):
+        self._compare(compile_kernel_source(DIVERGENT))
+
+    def test_loop_merge(self):
+        self._compare(compile_kernel_source(loop_merge_source()), args=(96,))
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_kernel())
+    def test_random_kernels_match_reference(self, program):
+        module = lower_program(program)
+        self._compare(module)

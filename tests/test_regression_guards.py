@@ -1,0 +1,136 @@
+"""Regression guards for subtle bugs fixed during development.
+
+Each test pins a failure mode that once existed, so refactors cannot
+silently reintroduce it.
+"""
+
+import pytest
+
+from repro.frontend import compile_kernel_source
+from repro.ir import parse_module, format_module
+from repro.simt import GPUMachine, GlobalMemory
+from repro.workloads import get_workload
+
+
+class TestWorkQueueAliasing:
+    """A dynamic work queue must not share memory with output cells: a
+    finished thread's store would corrupt the queue while other threads
+    still poll it, double-processing tasks (found via the none-mode
+    checksum test)."""
+
+    @pytest.mark.parametrize("name", ("rsbench", "xsbench"))
+    def test_queue_region_disjoint_from_output(self, name):
+        workload = get_workload(name)
+        memory = GlobalMemory()
+        workload.setup(memory)
+        queue_base, queue_size = memory.region("queue")
+        out_base, out_size = memory.region("out")
+        assert queue_base + queue_size <= out_base or out_base + out_size <= queue_base
+
+    @pytest.mark.parametrize("name", ("rsbench", "xsbench"))
+    def test_tasks_processed_exactly_once(self, name):
+        # The queue counter ends at n_tasks + n_threads (each thread's
+        # final failing grab), never higher.
+        workload = get_workload(name)
+        result = workload.run(mode="none")
+        queue_base, _ = result.launch.memory.region("queue")
+        n_tasks = workload.params["n_tasks"]
+        assert result.launch.memory.load(queue_base) == n_tasks + workload.n_threads
+
+
+class TestParserLineAmbiguity:
+    """The IR text format is newline-free for the lexer; `%dst =` on the
+    next line must not be consumed as an operand of the previous
+    instruction (an early parser bug)."""
+
+    def test_zero_operand_op_before_dst(self):
+        text = """
+func @k() kernel {
+entry:
+  %a = tid
+  %b = add %a, 1
+  exit
+}
+"""
+        module = parse_module(text)
+        fn = module.function("k")
+        tid_instr = fn.block("entry").instructions[0]
+        assert tid_instr.operands == []
+        assert format_module(parse_module(format_module(module))) == format_module(module)
+
+
+class TestCostScalingFloor:
+    """Scaling latencies below 1 must clamp, not round to zero (which made
+    whole kernels free and inverted speedups)."""
+
+    def test_half_scale_keeps_alu_nonzero(self):
+        from repro.ir import Opcode
+        from repro.simt import CostModel
+
+        model = CostModel().scaled(0.5)
+        assert model.latency(Opcode.ADD) >= 1
+        assert model.latency(Opcode.PREDICT) == 0  # zero stays zero
+
+
+class TestSoftBarrierDegenerateThreshold:
+    """Threshold <= 1 must never park (a pool of one would self-release
+    anyway, but parking costs scheduler churn and once risked stalls)."""
+
+    def test_threshold_one_runs_to_completion(self):
+        module = compile_kernel_source(
+            """
+kernel k() {
+    let acc = 0.0;
+    let t = tid();
+    predict L1, 1;
+    for i in 0..6 {
+        if (hash01(t + i) < 0.5) {
+            label L1: acc = acc + 1.0;
+        }
+    }
+    store(t, acc);
+}
+"""
+        )
+        from repro.core import compile_sr
+
+        prog = compile_sr(module)
+        result = GPUMachine(prog.module).launch("k", 32)
+        assert result.simt_efficiency > 0
+
+
+class TestDetectorSideRegions:
+    """An if-without-else must not treat the join block as the 'else
+    side' (once made every cheap guard look like a huge candidate)."""
+
+    def test_join_side_is_empty(self):
+        from repro.analysis.cfg_utils import CFGView
+        from repro.analysis.dominators import compute_post_dominators
+        from repro.core.autodetect import _side_region
+        from repro.analysis.loops import compute_loops
+
+        module = compile_kernel_source(
+            """
+kernel k() {
+    let x = 0.0;
+    for i in 0..4 {
+        if (hash01(i) < 0.5) { x = x + 1.0; }
+        x = x * 2.0;
+    }
+    store(0, x);
+}
+"""
+        )
+        fn = module.function("k")
+        view = CFGView.of_function(fn)
+        pdom = compute_post_dominators(view)
+        nest = compute_loops(view)
+        branch = next(
+            b.name
+            for b in fn.blocks
+            if b.terminator.opcode.value == "cbr" and b.name != "for.head"
+        )
+        succs = view.succs[branch]
+        join = pdom.nearest_common_post_dominator(succs)
+        loop = nest.innermost_containing(branch)
+        assert _side_region(view, branch, join, loop, join=join) == set()

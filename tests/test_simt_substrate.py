@@ -1,0 +1,233 @@
+"""Tests for the SIMT substrate: RNG, memory, cost model, barrier file."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.ir import Opcode
+from repro.simt import (
+    ALL_MEMBERS,
+    BarrierFile,
+    ConvergenceBarrier,
+    CostModel,
+    GlobalMemory,
+    XorShift32,
+    mix_seed,
+)
+
+
+class TestRNG:
+    def test_deterministic_streams(self):
+        a = XorShift32(7, tid=3)
+        b = XorShift32(7, tid=3)
+        assert [a.uniform() for _ in range(10)] == [b.uniform() for _ in range(10)]
+
+    def test_distinct_threads_distinct_streams(self):
+        a = XorShift32(7, tid=3)
+        b = XorShift32(7, tid=4)
+        assert [a.uniform() for _ in range(4)] != [b.uniform() for _ in range(4)]
+
+    def test_uniform_in_unit_interval(self):
+        rng = XorShift32(11)
+        for _ in range(1000):
+            value = rng.uniform()
+            assert 0.0 <= value < 1.0
+
+    def test_uniform_covers_range(self):
+        rng = XorShift32(13)
+        values = [rng.uniform() for _ in range(2000)]
+        assert min(values) < 0.05 and max(values) > 0.95
+
+    def test_randint_inclusive_bounds(self):
+        rng = XorShift32(5)
+        values = {rng.randint(2, 5) for _ in range(500)}
+        assert values == {2, 3, 4, 5}
+
+    def test_mix_seed_never_zero(self):
+        assert all(mix_seed(seed, tid) != 0 for seed in range(50) for tid in range(10))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**31), st.integers(0, 4096))
+    def test_mix_seed_in_32_bits(self, seed, tid):
+        assert 0 < mix_seed(seed, tid) < 2**32
+
+
+class TestMemory:
+    def test_default_zero(self):
+        assert GlobalMemory().load(123) == 0
+
+    def test_store_load(self):
+        mem = GlobalMemory()
+        mem.store(5, 2.5)
+        assert mem.load(5) == 2.5
+
+    def test_alloc_bumps(self):
+        mem = GlobalMemory()
+        a = mem.alloc(10)
+        b = mem.alloc(5)
+        assert b == a + 10
+
+    def test_alloc_array_initializes(self):
+        mem = GlobalMemory()
+        base = mem.alloc_array([1, 2, 3])
+        assert [mem.load(base + i) for i in range(3)] == [1, 2, 3]
+
+    def test_named_regions(self):
+        mem = GlobalMemory()
+        mem.alloc_array([7, 8], name="tbl")
+        assert mem.read_region("tbl") == [7, 8]
+
+    def test_missing_region_raises(self):
+        with pytest.raises(SimulationError):
+            GlobalMemory().region("nope")
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(SimulationError):
+            GlobalMemory().alloc(-1)
+
+    def test_atom_add_returns_old(self):
+        mem = GlobalMemory()
+        assert mem.atom_add(0, 1) == 0
+        assert mem.atom_add(0, 1) == 1
+        assert mem.load(0) == 2
+
+    def test_snapshot_is_copy(self):
+        mem = GlobalMemory()
+        mem.store(1, 9)
+        snap = mem.snapshot()
+        mem.store(1, 10)
+        assert snap[1] == 9
+
+
+class TestCostModel:
+    def test_known_latencies(self):
+        model = CostModel()
+        assert model.latency(Opcode.FMA) == 1
+        assert model.latency(Opcode.SIN) > model.latency(Opcode.ADD)
+
+    def test_coalesced_load_pays_base_only(self):
+        model = CostModel()
+        addresses = list(range(8))  # one segment
+        assert model.memory_cost(Opcode.LD, addresses) == model.latency(Opcode.LD)
+
+    def test_scattered_load_pays_per_segment(self):
+        model = CostModel()
+        addresses = [i * 100 for i in range(4)]  # four segments
+        expected = model.latency(Opcode.LD) + 3 * model.load_segment_cost
+        assert model.memory_cost(Opcode.LD, addresses) == expected
+
+    def test_store_uses_store_segment_cost(self):
+        model = CostModel()
+        addresses = [0, 1000]
+        expected = model.latency(Opcode.ST) + model.store_segment_cost
+        assert model.memory_cost(Opcode.ST, addresses) == expected
+
+    def test_empty_access_is_base(self):
+        model = CostModel()
+        assert model.memory_cost(Opcode.LD, []) == model.latency(Opcode.LD)
+
+    def test_scaled(self):
+        model = CostModel().scaled(2.0)
+        assert model.latency(Opcode.DIV) == 16
+
+
+class TestConvergenceBarrier:
+    def test_join_is_idempotent(self):
+        barrier = ConvergenceBarrier("b")
+        barrier.join(1)
+        barrier.join(1)
+        assert barrier.members == {1}
+
+    def test_hard_release_requires_all_members(self):
+        barrier = ConvergenceBarrier("b")
+        for lane in (1, 2, 3):
+            barrier.join(lane)
+        barrier.park(1)
+        barrier.park(2)
+        assert barrier.releasable() == set()
+        barrier.park(3)
+        assert barrier.releasable() == {1, 2, 3}
+
+    def test_park_nonmember_is_passthrough(self):
+        barrier = ConvergenceBarrier("b")
+        assert barrier.park(9) is False
+        assert barrier.parked == set()
+
+    def test_withdraw_can_trigger_release(self):
+        barrier = ConvergenceBarrier("b")
+        for lane in (1, 2):
+            barrier.join(lane)
+        barrier.park(1)
+        assert barrier.releasable() == set()
+        barrier.withdraw(2)
+        assert barrier.releasable() == {1}
+
+    def test_soft_threshold_releases_pool(self):
+        barrier = ConvergenceBarrier("b")
+        for lane in range(6):
+            barrier.join(lane)
+        barrier.park(0, threshold=3)
+        barrier.park(1, threshold=3)
+        assert barrier.releasable() == set()
+        barrier.park(2, threshold=3)
+        assert barrier.releasable() == {0, 1, 2}
+
+    def test_soft_all_members_parked_releases_below_threshold(self):
+        barrier = ConvergenceBarrier("b")
+        barrier.join(0)
+        barrier.join(1)
+        barrier.park(0, threshold=10)
+        barrier.park(1, threshold=10)
+        assert barrier.releasable() == {0, 1}
+
+    def test_release_clears_membership(self):
+        barrier = ConvergenceBarrier("b")
+        barrier.join(0)
+        barrier.park(0)
+        barrier.release({0})
+        assert barrier.members == set()
+        assert barrier.arrived_count == 0
+
+    def test_release_unparked_lane_rejected(self):
+        barrier = ConvergenceBarrier("b")
+        barrier.join(0)
+        with pytest.raises(SimulationError):
+            barrier.release({0})
+
+    def test_arrived_count(self):
+        barrier = ConvergenceBarrier("b")
+        barrier.join(0)
+        barrier.join(4)
+        assert barrier.arrived_count == 2
+
+
+class TestBarrierFile:
+    def test_get_creates_on_demand(self):
+        barriers = BarrierFile()
+        assert "b0" not in barriers
+        barriers.get("b0")
+        assert "b0" in barriers
+
+    def test_withdraw_from_all(self):
+        barriers = BarrierFile()
+        barriers.get("a").join(1)
+        barriers.get("b").join(1)
+        touched = barriers.withdraw_from_all(1)
+        assert len(touched) == 2
+        assert barriers.get("a").members == set()
+
+    def test_all_releasable(self):
+        barriers = BarrierFile()
+        barrier = barriers.get("a")
+        barrier.join(0)
+        barrier.park(0)
+        assert [(b.name, lanes) for b, lanes in barriers.all_releasable()] == [
+            ("a", {0})
+        ]
+
+    def test_parked_anywhere(self):
+        barriers = BarrierFile()
+        barriers.get("a").join(3)
+        barriers.get("a").park(3)
+        assert barriers.parked_anywhere() == {3}

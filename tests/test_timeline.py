@@ -1,0 +1,108 @@
+"""Execution-timeline rendering tests (the Figure 1 diagrams)."""
+
+import pytest
+
+from repro.core import compile_baseline, compile_sr
+from repro.errors import ReproError
+from repro.frontend import compile_kernel_source
+from repro.harness.timeline import (
+    assign_symbols,
+    convergence_series,
+    render_timeline,
+)
+from repro.simt import GPUMachine
+
+
+def _traced_launch(program_module, n=32, args=(), **kwargs):
+    return GPUMachine(program_module, trace=True, **kwargs).launch(
+        program_module.kernels()[0].name, n, args=args
+    )
+
+
+KERNEL = """
+kernel k() {
+    let acc = 0.0;
+    let t = tid();
+    predict L1;
+    for i in 0..12 {
+        if (hash01(t * 13.0 + i) < 0.25) {
+            label L1: acc = acc + 1.0;
+            acc = fma(acc, 0.99, 0.5); acc = fma(acc, 0.99, 0.5);
+            acc = fma(acc, 0.99, 0.5); acc = fma(acc, 0.99, 0.5);
+            acc = fma(acc, 0.99, 0.5); acc = fma(acc, 0.99, 0.5);
+        }
+    }
+    store(t, acc);
+}
+"""
+
+
+class TestTracing:
+    def test_trace_disabled_by_default(self):
+        module = compile_kernel_source("kernel k() { store(tid(), 1.0); }")
+        launch = GPUMachine(module).launch("k", 4)
+        assert launch.profiler.trace is None
+
+    def test_trace_records_every_issue(self):
+        module = compile_kernel_source("kernel k() { store(tid(), 1.0); }")
+        launch = _traced_launch(module, n=4)
+        assert len(launch.profiler.trace) == launch.profiler.issued
+
+    def test_trace_lanes_match_active(self):
+        module = compile_kernel_source(
+            "kernel k() { if (tid() < 2) { store(0, 1.0); } }"
+        )
+        launch = _traced_launch(module, n=4)
+        sizes = [len(lanes) for _, _, _, lanes in launch.profiler.trace]
+        assert 2 in sizes  # the divergent store ran with two lanes
+
+
+class TestRendering:
+    def test_requires_trace(self):
+        module = compile_kernel_source("kernel k() { store(tid(), 1.0); }")
+        launch = GPUMachine(module).launch("k", 4)
+        with pytest.raises(ReproError, match="trace"):
+            render_timeline(launch)
+
+    def test_renders_one_row_per_lane(self):
+        module = compile_baseline(compile_kernel_source(KERNEL)).module
+        launch = _traced_launch(module)
+        text = render_timeline(launch, width=40, legend=False)
+        assert len(text.splitlines()) == 32
+        assert text.splitlines()[0].startswith("T00 |")
+
+    def test_highlight_symbol(self):
+        module = compile_sr(compile_kernel_source(KERNEL)).module
+        launch = _traced_launch(module)
+        text = render_timeline(launch, width=60, highlight="L.L1", legend=True)
+        assert "#" in text
+        assert "# = L.L1" in text
+
+    def test_legend_lists_blocks(self):
+        module = compile_baseline(compile_kernel_source(KERNEL)).module
+        launch = _traced_launch(module)
+        text = render_timeline(launch, width=30)
+        assert "for.head" in text
+
+    def test_symbols_stable(self):
+        trace = [(0, "k", "a", frozenset()), (0, "k", "b", frozenset())]
+        symbols = assign_symbols(trace, highlight="b")
+        assert symbols["b"] == "#"
+        assert symbols["a"] == "A"
+
+
+class TestConvergenceSeries:
+    def test_sr_waves_wider_than_pdom(self):
+        module = compile_kernel_source(KERNEL)
+        base = _traced_launch(compile_baseline(module).module)
+        sr = _traced_launch(compile_sr(module).module)
+        base_waves = convergence_series(base, "L.L1")
+        sr_waves = convergence_series(sr, "L.L1")
+        assert max(sr_waves) > max(base_waves)
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(sr_waves) > mean(base_waves)
+
+    def test_unknown_block_empty(self):
+        module = compile_baseline(compile_kernel_source(KERNEL)).module
+        launch = _traced_launch(module)
+        assert convergence_series(launch, "ghost") == []

@@ -1,0 +1,100 @@
+"""srkc CLI driver tests."""
+
+import pytest
+
+from repro.tools.srkc import build_parser, main
+
+KERNEL = """
+kernel axpy(n) {
+    let i = tid();
+    if (i < n) {
+        store(100 + i, i * 2.0 + 1.0);
+    }
+}
+"""
+
+DIVERGENT = """
+kernel d() {
+    let acc = 0.0;
+    let t = tid();
+    predict L1;
+    for i in 0..16 {
+        if (hash01(t * 9.0 + i) < 0.2) {
+            label L1: acc = acc + 1.0;
+            acc = fma(acc, 0.99, 0.5); acc = fma(acc, 0.99, 0.5);
+            acc = fma(acc, 0.99, 0.5); acc = fma(acc, 0.99, 0.5);
+            acc = fma(acc, 0.99, 0.5); acc = fma(acc, 0.99, 0.5);
+        }
+    }
+    store(t, acc);
+}
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "axpy.srk"
+    path.write_text(KERNEL)
+    return str(path)
+
+
+@pytest.fixture
+def divergent_file(tmp_path):
+    path = tmp_path / "d.srk"
+    path.write_text(DIVERGENT)
+    return str(path)
+
+
+class TestCLI:
+    def test_compile_only(self, kernel_file, capsys):
+        assert main([kernel_file]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_emit_ir(self, kernel_file, capsys):
+        main([kernel_file, "--emit-ir"])
+        out = capsys.readouterr().out
+        assert "func @axpy" in out and "kernel" in out
+
+    def test_run_with_args(self, kernel_file, capsys):
+        assert main([kernel_file, "--run", "--args", "8", "--threads", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "SIMT efficiency" in out
+
+    def test_dump_memory(self, kernel_file, capsys):
+        main([kernel_file, "--run", "--args", "4", "--dump-memory"])
+        out = capsys.readouterr().out
+        assert "mem[100]" in out and "mem[103]" in out
+
+    def test_compare_baseline(self, divergent_file, capsys):
+        main([divergent_file, "--run", "--compare-baseline", "--threshold", "8"])
+        out = capsys.readouterr().out
+        assert "[sr]" in out and "[baseline]" in out and "speedup" in out
+
+    def test_report(self, divergent_file, capsys):
+        main([divergent_file, "--report"])
+        out = capsys.readouterr().out
+        assert "Predict" in out
+
+    def test_optimize_flag(self, divergent_file, capsys):
+        main([divergent_file, "--report", "--optimize"])
+        out = capsys.readouterr().out
+        assert "opt:" in out
+
+    def test_mode_choices(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["x.srk", "--mode", "hyperdrive"])
+
+    def test_float_args(self, tmp_path, capsys):
+        path = tmp_path / "f.srk"
+        path.write_text("kernel f(x) { store(tid(), x * 2.0); }")
+        main([str(path), "--run", "--args", "1.5", "--dump-memory", "--threads", "1"])
+        out = capsys.readouterr().out
+        assert "3.0" in out
+
+    def test_example_kernels_compile_and_run(self, capsys):
+        for path, args in (
+            ("examples/kernels/iteration_delay.srk", ["--args", "16"]),
+            ("examples/kernels/loop_merge.srk", ["--args", "64"]),
+        ):
+            assert main([path, "--run"] + args) == 0

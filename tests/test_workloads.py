@@ -1,0 +1,140 @@
+"""Workload suite tests: every Table 2 benchmark builds, verifies,
+runs correctly in every mode, and has coherent metadata."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ir import verify_module
+from repro.workloads import (
+    FIGURE7_WORKLOADS,
+    REGISTRY,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+
+ALL_NAMES = FIGURE7_WORKLOADS + ("funccall",)
+
+#: Smaller presets so the full matrix stays fast in CI.
+FAST_PARAMS = {
+    "rsbench": {"n_tasks": 96},
+    "xsbench": {"n_tasks": 64},
+    "mcb": {"steps": 12},
+    "pathtracer": {"samples_per_thread": 3},
+    "mc-gpu": {"photons_per_thread": 3},
+    "mummer": {"queries_per_thread": 4},
+    "meiyamd5": {"candidates_per_thread": 2},
+    "optix": {"steps": 12},
+    "gpu-mcml": {"photons_per_thread": 2},
+    "funccall": {"iterations": 8},
+}
+
+
+def fast(name):
+    return get_workload(name, **FAST_PARAMS.get(name, {}))
+
+
+class TestRegistry:
+    def test_all_table2_workloads_registered(self):
+        assert set(FIGURE7_WORKLOADS) <= set(workload_names())
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("quake3")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("rsbench", flux_capacitor=1)
+
+    def test_all_workloads_helper(self):
+        workloads = all_workloads()
+        assert len(workloads) == len(REGISTRY)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_metadata_complete(self, name):
+        workload = get_workload(name)
+        assert workload.description
+        assert workload.pattern in ("loop-merge", "iteration-delay", "func-call")
+        assert workload.paper_note
+        assert workload.kernel_name
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_module_builds_and_verifies(self, name):
+        module = fast(name).module()
+        assert verify_module(module)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_has_prediction_annotation(self, name):
+        from repro.core import collect_predictions
+
+        workload = fast(name)
+        module = workload.module()
+        predictions = []
+        for fn in module:
+            predictions.extend(collect_predictions(fn))
+        assert len(predictions) == 1
+        assert predictions[0].is_interprocedural == (workload.pattern == "func-call")
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_compiles_in_all_modes(self, name):
+        workload = fast(name)
+        for mode in ("baseline", "sr", "none"):
+            prog = workload.compile(mode=mode)
+            assert verify_module(prog.module)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_sr_preserves_results(self, name):
+        workload = fast(name)
+        baseline = workload.run(mode="baseline")
+        optimized = workload.run(mode="sr")
+        if workload.deterministic_memory:
+            assert baseline.launch.memory.snapshot() == optimized.launch.memory.snapshot()
+        else:
+            assert baseline.checksum == pytest.approx(optimized.checksum, abs=1e-2)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_none_mode_preserves_results(self, name):
+        workload = fast(name)
+        baseline = workload.run(mode="baseline")
+        unsynced = workload.run(mode="none")
+        if workload.deterministic_memory:
+            assert baseline.launch.memory.snapshot() == unsynced.launch.memory.snapshot()
+        else:
+            assert baseline.checksum == pytest.approx(unsynced.checksum, abs=1e-2)
+
+    @pytest.mark.parametrize("name", ("rsbench", "pathtracer", "funccall"))
+    def test_results_scheduler_invariant(self, name):
+        workload = fast(name)
+        results = {
+            scheduler: workload.run(mode="sr", scheduler=scheduler).checksum
+            for scheduler in ("convergence", "oldest-first")
+        }
+        values = list(results.values())
+        assert values[0] == pytest.approx(values[1], abs=1e-2)
+
+
+class TestMetrics:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_result_fields_sane(self, name):
+        result = fast(name).run(mode="baseline")
+        assert 0 < result.simt_efficiency <= 1
+        assert result.cycles > 0
+        assert result.issued > 0
+
+    def test_compare_returns_pair(self):
+        baseline, optimized = fast("mcb").compare()
+        assert baseline.mode == "baseline"
+        assert optimized.mode == "sr"
+        assert optimized.speedup_over(baseline) > 0
+
+    def test_threshold_override(self):
+        workload = fast("rsbench")
+        hard = workload.run(mode="sr", threshold=None)
+        soft = workload.run(mode="sr", threshold=8)
+        assert hard.threshold is None
+        assert soft.threshold == 8
+        assert hard.cycles != soft.cycles

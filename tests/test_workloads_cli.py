@@ -1,0 +1,34 @@
+"""Workload-runner CLI tests."""
+
+import pytest
+
+from repro.workloads.__main__ import main
+
+
+class TestWorkloadsCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "rsbench" in out and "loop-merge" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "Registered workloads" in capsys.readouterr().out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["quake3"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_run_sr(self, capsys):
+        assert main(["mcb"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline:" in out and "speedup" in out
+        assert "results match" in out
+
+    def test_explicit_threshold(self, capsys):
+        assert main(["mcb", "--threshold", "8"]) == 0
+        assert "(threshold 8)" in capsys.readouterr().out
+
+    def test_none_mode(self, capsys):
+        assert main(["mcb", "--mode", "none"]) == 0
+        assert "none" in capsys.readouterr().out
