@@ -23,14 +23,19 @@ from repro.core.pipeline import (
 )
 from repro.errors import ReproError
 from repro.frontend.parser import compile_kernel_source, parse_kernel_source
+from repro.obs import LaunchMetrics, ListSink, chrome_trace, write_chrome_trace
 from repro.simt.machine import GPUMachine
 from repro.simt.memory import GlobalMemory
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GPUMachine",
     "GlobalMemory",
+    "LaunchMetrics",
+    "ListSink",
+    "chrome_trace",
+    "write_chrome_trace",
     "ReconvergenceCompiler",
     "ReproError",
     "compile_baseline",

@@ -30,6 +30,7 @@ from repro.core.primitives import BarrierNamer
 from repro.core.softbarrier import set_prediction_threshold
 from repro.errors import TransformError
 from repro.ir.verifier import verify_module
+from repro.obs.spans import SpanRecorder
 
 MODES = ("baseline", "sr", "auto", "none")
 
@@ -46,8 +47,9 @@ class CompileReport:
     allocation: dict = field(default_factory=dict)        # fn -> {abstract: phys}
     auto_candidates: list = field(default_factory=list)
     opt_report: object = None                             # OptReport if optimize=True
+    spans: list = field(default_factory=list)             # obs.spans.Span per phase
 
-    def describe(self):
+    def describe(self, with_spans=False):
         lines = [f"mode={self.mode}"]
         for prediction in self.predictions:
             lines.append("  " + prediction.describe())
@@ -55,6 +57,9 @@ class CompileReport:
             lines.append("  " + report.describe())
         for report in self.deconfliction_reports:
             lines.append("  deconflict: " + report.describe())
+        if with_spans:
+            for span in self.spans:
+                lines.append("  span: " + span.describe())
         return "\n".join(lines)
 
 
@@ -94,81 +99,103 @@ class ReconvergenceCompiler:
         clone = module.clone()
         report = CompileReport(mode=mode)
         namer = BarrierNamer()
+        # Every phase runs under a timed span recording wall time and the
+        # module's blocks/instructions/barriers before -> after.
+        spans = SpanRecorder()
 
         if self.optimize:
             from repro.opt import optimize_module
 
-            report.opt_report = optimize_module(clone)
+            with spans.span("optimize", clone):
+                report.opt_report = optimize_module(clone)
 
         if mode == "none":
-            for function in clone:
-                strip_directives(function)
-            return self._finish(clone, report)
+            with spans.span("strip-directives", clone):
+                for function in clone:
+                    strip_directives(function)
+            return self._finish(clone, report, spans)
 
         if mode == "auto":
             from repro.core.autodetect import detect_and_annotate
 
-            for function in clone:
-                strip_directives(function)
-            report.auto_candidates = detect_and_annotate(
-                clone, **(auto_options or {})
-            )
-
-        divergence = analyze_module_divergence(clone)
-
-        # Gather predictions before PDOM insertion shifts indices.
-        predictions_by_fn = {}
-        if mode in ("sr", "auto"):
-            for function in clone:
-                if threshold is not None:
-                    set_prediction_threshold(function, threshold)
-                predictions = collect_predictions(function)
-                if predictions:
-                    predictions_by_fn[function.name] = predictions
-                    report.predictions.extend(predictions)
-
-        # Baseline PDOM synchronization everywhere.
-        for function in clone:
-            report.pdom_reports[function.name] = insert_pdom_sync(
-                function,
-                namer=namer,
-                divergence=divergence.get(function.name),
-                assume_all_divergent=self.assume_all_divergent,
-            )
-
-        # Speculative Reconvergence per prediction, then deconflict.
-        for function in clone:
-            predictions = predictions_by_fn.get(function.name, ())
-            sr_barriers = []
-            for prediction in predictions:
-                if prediction.is_interprocedural:
-                    sub = insert_interprocedural_sr(
-                        clone, function, prediction, namer=namer
-                    )
-                else:
-                    sub = insert_speculative_reconvergence(
-                        function, prediction, namer=namer
-                    )
-                report.sr_reports.append(sub)
-                sr_barriers.append(sub.barrier)
-                if sub.exit_barrier:
-                    sr_barriers.append(sub.exit_barrier)
-            if sr_barriers:
-                report.deconfliction_reports.append(
-                    deconflict(function, sr_barriers, strategy=self.deconfliction)
+            with spans.span("autodetect", clone):
+                for function in clone:
+                    strip_directives(function)
+                report.auto_candidates = detect_and_annotate(
+                    clone, **(auto_options or {})
                 )
 
-        for function in clone:
-            strip_directives(function)
+        with spans.span("divergence-analysis", clone):
+            divergence = analyze_module_divergence(clone)
 
-        return self._finish(clone, report)
+            # Gather predictions before PDOM insertion shifts indices.
+            predictions_by_fn = {}
+            if mode in ("sr", "auto"):
+                for function in clone:
+                    if threshold is not None:
+                        set_prediction_threshold(function, threshold)
+                    predictions = collect_predictions(function)
+                    if predictions:
+                        predictions_by_fn[function.name] = predictions
+                        report.predictions.extend(predictions)
+
+        # Baseline PDOM synchronization everywhere.
+        with spans.span("pdom-sync", clone):
+            for function in clone:
+                report.pdom_reports[function.name] = insert_pdom_sync(
+                    function,
+                    namer=namer,
+                    divergence=divergence.get(function.name),
+                    assume_all_divergent=self.assume_all_divergent,
+                )
+
+        # Speculative Reconvergence per prediction, then deconflict.
+        sr_barriers_by_fn = {}
+        with spans.span("sr-insertion", clone):
+            for function in clone:
+                predictions = predictions_by_fn.get(function.name, ())
+                sr_barriers = []
+                for prediction in predictions:
+                    if prediction.is_interprocedural:
+                        sub = insert_interprocedural_sr(
+                            clone, function, prediction, namer=namer
+                        )
+                    else:
+                        sub = insert_speculative_reconvergence(
+                            function, prediction, namer=namer
+                        )
+                    report.sr_reports.append(sub)
+                    sr_barriers.append(sub.barrier)
+                    if sub.exit_barrier:
+                        sr_barriers.append(sub.exit_barrier)
+                if sr_barriers:
+                    sr_barriers_by_fn[function.name] = sr_barriers
+
+        with spans.span("deconfliction", clone):
+            for function in clone:
+                sr_barriers = sr_barriers_by_fn.get(function.name)
+                if sr_barriers:
+                    report.deconfliction_reports.append(
+                        deconflict(
+                            function, sr_barriers, strategy=self.deconfliction
+                        )
+                    )
+
+        with spans.span("strip-directives", clone):
+            for function in clone:
+                strip_directives(function)
+
+        return self._finish(clone, report, spans)
 
     # ------------------------------------------------------------------
-    def _finish(self, clone, report):
+    def _finish(self, clone, report, spans):
         if self.allocate:
-            report.allocation = allocate_module(clone)
+            with spans.span("allocation", clone):
+                report.allocation = allocate_module(clone)
         if self.verify:
-            verify_module(clone)
+            with spans.span("verify", clone):
+                verify_module(clone)
+        report.spans = spans.spans
         return CompiledProgram(module=clone, report=report)
 
 

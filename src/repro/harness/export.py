@@ -15,7 +15,14 @@ import json
 import sys
 
 from repro.harness.experiment import compare_all, threshold_sweep
-from repro.workloads import FIGURE7_WORKLOADS
+from repro.workloads import FIGURE7_WORKLOADS, get_workload
+
+#: Workloads whose full observability summary ships with the export, with
+#: scaled-down sizes so the extra instrumented runs stay cheap.
+SUMMARY_WORKLOADS = {
+    "funccall": {"iterations": 12},
+    "mcb": {"steps": 16},
+}
 
 
 def comparison_rows_to_dicts(rows):
@@ -54,7 +61,27 @@ def sweep_to_dicts(baseline, points):
     }
 
 
-def collect_results(seed=2020, sweep_workloads=("pathtracer", "xsbench")):
+def collect_summaries(seed=2020, workloads=None):
+    """Per-workload launch summaries with stall-reason attribution.
+
+    Runs each workload under ``metrics=True`` and merges the profiler's
+    ``summary()`` (issue counts, efficiency, per-opcode breakdown) with the
+    stall/barrier attribution from :class:`repro.obs.LaunchMetrics`.
+    """
+    if workloads is None:
+        workloads = SUMMARY_WORKLOADS
+    summaries = {}
+    for name, params in workloads.items():
+        workload = get_workload(name, **params)
+        result = workload.run(mode="sr", seed=seed, metrics=True)
+        summary = result.launch.profiler.summary()
+        summary["metrics"] = result.launch.metrics.summary()
+        summaries[name] = summary
+    return summaries
+
+
+def collect_results(seed=2020, sweep_workloads=("pathtracer", "xsbench"),
+                    summary_workloads=None):
     """All fast-figure measurements as one JSON-serializable dict."""
     rows = compare_all(FIGURE7_WORKLOADS, seed=seed)
     sweeps = {}
@@ -64,8 +91,30 @@ def collect_results(seed=2020, sweep_workloads=("pathtracer", "xsbench")):
     return {
         "figure7_8": comparison_rows_to_dicts(rows),
         "figure9": sweeps,
+        "summaries": collect_summaries(seed=seed, workloads=summary_workloads),
         "seed": seed,
     }
+
+
+def summaries_to_csv(summaries):
+    """Launch summaries as flat CSV rows (one row per workload × stall
+    reason, plus an ``active`` row each)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["workload", "reason", "lane_cycles",
+                     "simt_efficiency", "avg_active_lanes", "cycles"])
+    for name, summary in summaries.items():
+        metrics = summary.get("metrics", {})
+        rows = {"active": metrics.get("active_lane_cycles", 0)}
+        rows.update(summary.get("stall_cycles", {}))
+        for reason, cycles in rows.items():
+            writer.writerow([
+                name, reason, cycles,
+                f"{summary['simt_efficiency']:.6f}",
+                f"{summary['avg_active_lanes']:.3f}",
+                summary["cycles"],
+            ])
+    return buffer.getvalue()
 
 
 def to_csv(rows):
@@ -82,11 +131,19 @@ def main(argv=None):
     parser = argparse.ArgumentParser()
     parser.add_argument("--output", default="results.json")
     parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument(
+        "--summary-csv", default=None,
+        help="also write the stall-attribution summaries as CSV",
+    )
     args = parser.parse_args(argv)
     results = collect_results(seed=args.seed)
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2)
     print(f"wrote {args.output}")
+    if args.summary_csv:
+        with open(args.summary_csv, "w") as handle:
+            handle.write(summaries_to_csv(results["summaries"]))
+        print(f"wrote {args.summary_csv}")
     return 0
 
 

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 from repro.harness.experiment import compare_all, threshold_sweep
 from repro.harness.report import efficiency_chart, format_table, markdown_table
+from repro.harness.timeline import render_timeline
 from repro.workloads import FIGURE7_WORKLOADS, REGISTRY, get_workload
 from repro.workloads.corpus import (
     CATEGORY_COUNTS,
@@ -201,6 +202,43 @@ def corpus_funnel(counts=None, seed=520, efficiency_cutoff=0.8, significance=1.1
 
 
 # ---------------------------------------------------------------------------
+# Figure 1 — execution timelines, PDOM vs Speculative Reconvergence
+# ---------------------------------------------------------------------------
+def _hot_block(launch, function):
+    """The most-issued block of ``function`` in warp 0's trace."""
+    counts = {}
+    for event in launch.profiler.trace:
+        if event[0] == 0 and event[1] == function:
+            counts[event[2]] = counts.get(event[2], 0) + 1
+    return max(counts, key=counts.get) if counts else None
+
+
+def figure1(seed=2020, width=72):
+    """Regenerate the paper's Figure 1 cartoons from cycle-stamped traces:
+    the shared ``shade`` body serializes under PDOM (diagonal staircase)
+    and converges into wide waves under interprocedural SR."""
+    workload = get_workload("funccall", iterations=10)
+    baseline = workload.run(mode="baseline", seed=seed, trace=True)
+    optimized = workload.run(mode="sr", seed=seed, trace=True)
+    highlight = _hot_block(baseline.launch, "shade")
+    sections = []
+    for label, result in (("PDOM baseline", baseline),
+                          ("speculative reconvergence", optimized)):
+        sections.append(
+            f"Figure 1 [{label}]: '#' = {highlight} (the shared shade "
+            f"body), SIMT efficiency {result.simt_efficiency:.1%}\n"
+            + render_timeline(
+                result.launch, width=width, highlight=highlight, legend=False
+            )
+        )
+    return FigureResult(
+        name="figure1",
+        data={"baseline": baseline, "sr": optimized, "highlight": highlight},
+        text="\n\n".join(sections),
+    )
+
+
+# ---------------------------------------------------------------------------
 # Section 5.1 microbenchmark — common function call
 # ---------------------------------------------------------------------------
 def funccall_microbenchmark(seed=2020):
@@ -266,6 +304,7 @@ def deconfliction_ablation(seed=2020, workloads=("rsbench", "mcb", "pathtracer")
 
 
 ALL_FIGURES = {
+    "fig1": figure1,
     "table2": table2,
     "fig7": figure7,
     "fig8": figure8,

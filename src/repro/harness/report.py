@@ -57,6 +57,35 @@ def efficiency_chart(rows, title=None):
     return "\n".join(lines)
 
 
+def summary_table(summary, title="Launch summary"):
+    """A Profiler.summary() dict as a metric/value table (nested dicts —
+    opcode counts, stall attribution — get their own tables)."""
+    rows = [
+        (key, value)
+        for key, value in summary.items()
+        if not isinstance(value, dict)
+    ]
+    return format_table(["metric", "value"], rows, title=title)
+
+
+def stall_table(stall_cycles, active_cycles, title="Cycle attribution"):
+    """Stall-reason lane-cycles (repro.obs.metrics) with shares of total."""
+    total = active_cycles + sum(stall_cycles.values())
+    rows = [("active", active_cycles,
+             f"{active_cycles / total:.1%}" if total else "-")]
+    for reason, cycles in sorted(stall_cycles.items(), key=lambda kv: -kv[1]):
+        rows.append(
+            (reason, cycles, f"{cycles / total:.1%}" if total else "-")
+        )
+    return format_table(["reason", "lane-cycles", "share"], rows, title=title)
+
+
+def opcode_table(opcode_issues, title="Issues by opcode", limit=12):
+    """Top-N per-opcode issue counts from Profiler.summary()."""
+    rows = list(opcode_issues.items())[:limit]
+    return format_table(["opcode", "issues"], rows, title=title)
+
+
 def markdown_table(headers, rows):
     """GitHub-flavored markdown table (for EXPERIMENTS.md)."""
     lines = ["| " + " | ".join(str(h) for h in headers) + " |"]

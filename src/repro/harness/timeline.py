@@ -2,15 +2,25 @@
 cartoons, regenerated from real traces.
 
 Render one warp's execution as a lane × time grid: each column is a slice
-of issue slots, each cell shows which basic block the lane spent that
-slice in (``.`` = idle/waiting). Under PDOM sync the expensive block forms
-a diagonal staircase (serialized execution, Figure 1a); under Speculative
-Reconvergence it forms solid vertical bands (converged waves, Figure 1b).
+of the warp's timeline, each cell shows which basic block the lane spent
+that slice in (``.`` = idle/waiting). Under PDOM sync the expensive block
+forms a diagonal staircase (serialized execution, Figure 1a); under
+Speculative Reconvergence it forms solid vertical bands (converged waves,
+Figure 1b).
+
+Traces made of cycle-stamped :class:`repro.obs.events.IssueEvent` records
+(any modern tracing launch) are rendered *time-accurately*: columns are
+slices of warp cycles, so variable-cost instructions (``simt/costs.py`` —
+a 20-cycle load vs a 1-cycle add) occupy proportional width. Legacy
+``(warp_id, function, block, lanes)`` tuples fall back to the historical
+issue-index bucketing, where every instruction is one slot wide.
 
 Requires a launch made with ``GPUMachine(module, trace=True)``.
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.errors import ReproError
 from repro.simt.warp import WARP_SIZE
@@ -32,6 +42,47 @@ def assign_symbols(trace, warp_id=0, highlight=None):
     return symbols
 
 
+def _issue_grid(events, columns, lanes):
+    """Legacy bucketing: columns are equal counts of issue slots."""
+    per_column = len(events) / columns
+    tallies = [[{} for _ in range(columns)] for _ in range(lanes)]
+    for column in range(columns):
+        start = int(column * per_column)
+        stop = max(start + 1, int((column + 1) * per_column))
+        for _wid, _function, block, active in events[start:stop]:
+            for lane in active:
+                if lane < lanes:
+                    tally = tallies[lane][column]
+                    tally[block] = tally.get(block, 0) + 1
+    return tallies, per_column, "issue slots"
+
+
+def _cycle_grid(events, columns, lanes):
+    """Time-accurate bucketing: columns are equal slices of warp cycles,
+    and each issue is weighted by its overlap with the column."""
+    t0 = events[0].ts
+    t1 = max(e.ts + e.dur for e in events)
+    total = max(t1 - t0, 1)
+    per_column = total / columns
+    tallies = [[{} for _ in range(columns)] for _ in range(lanes)]
+    for event in events:
+        start = event.ts - t0
+        # Zero-duration issues still mark their column (weight epsilon).
+        dur = event.dur if event.dur > 0 else 1e-9
+        first = min(int(start / per_column), columns - 1)
+        last = min(int(math.ceil((start + dur) / per_column)), columns)
+        for column in range(first, max(last, first + 1)):
+            lo = column * per_column
+            weight = min(start + dur, lo + per_column) - max(start, lo)
+            if weight <= 0:
+                continue
+            for lane in event.lanes:
+                if lane < lanes:
+                    tally = tallies[lane][column]
+                    tally[event.block] = tally.get(event.block, 0) + weight
+    return tallies, per_column, "cycles"
+
+
 def render_timeline(
     launch,
     warp_id=0,
@@ -39,13 +90,17 @@ def render_timeline(
     lanes=WARP_SIZE,
     highlight=None,
     legend=True,
+    by_cycles="auto",
 ):
     """Render a lane-by-time ASCII diagram for one warp.
 
     Args:
         launch: a LaunchResult from a tracing machine.
-        width: number of time columns (issues are bucketed evenly).
+        width: number of time columns.
         highlight: block name drawn as ``#`` (e.g. the Expensive() block).
+        by_cycles: True for time-accurate columns (needs cycle-stamped
+            events), False for legacy issue-index bucketing, "auto"
+            (default) picks time-accurate whenever the trace supports it.
     """
     trace = launch.profiler.trace
     if trace is None:
@@ -55,23 +110,30 @@ def render_timeline(
     events = [e for e in trace if e[0] == warp_id]
     if not events:
         raise ReproError(f"no trace events for warp {warp_id}")
+    cycle_stamped = hasattr(events[0], "ts")
+    if by_cycles == "auto":
+        by_cycles = cycle_stamped
+    elif by_cycles and not cycle_stamped:
+        raise ReproError(
+            "by_cycles=True needs cycle-stamped IssueEvents; this trace "
+            "holds legacy tuples"
+        )
     symbols = assign_symbols(events, warp_id=warp_id, highlight=highlight)
-    columns = min(width, len(events))
-    per_column = len(events) / columns
+    if by_cycles:
+        total = max(e.ts + e.dur for e in events) - events[0].ts
+        columns = min(width, max(total, 1))
+        tallies, per_column, unit = _cycle_grid(events, columns, lanes)
+    else:
+        columns = min(width, len(events))
+        tallies, per_column, unit = _issue_grid(events, columns, lanes)
 
     grid = [["." for _ in range(columns)] for _ in range(lanes)]
-    for column in range(columns):
-        start = int(column * per_column)
-        stop = max(start + 1, int((column + 1) * per_column))
-        # Majority block per lane within the bucket.
-        tally = [dict() for _ in range(lanes)]
-        for _wid, _function, block, active in events[start:stop]:
-            for lane in active:
-                if lane < lanes:
-                    tally[lane][block] = tally[lane].get(block, 0) + 1
-        for lane in range(lanes):
-            if tally[lane]:
-                block = max(tally[lane], key=tally[lane].get)
+    for lane in range(lanes):
+        for column in range(columns):
+            tally = tallies[lane][column]
+            if tally:
+                # Majority block per lane within the bucket.
+                block = max(tally, key=tally.get)
                 grid[lane][column] = symbols.get(block, "?")
 
     lines = []
@@ -80,7 +142,7 @@ def render_timeline(
     if legend:
         lines.append("")
         lines.append("time ->  (each column ~ "
-                     f"{per_column:.1f} issue slots; '.' = idle/waiting)")
+                     f"{per_column:.1f} {unit}; '.' = idle/waiting)")
         for block, symbol in symbols.items():
             lines.append(f"  {symbol} = {block}")
     return "\n".join(lines)

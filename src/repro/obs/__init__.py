@@ -1,0 +1,80 @@
+"""Unified observability: events, sinks, metrics, spans, exporters.
+
+The ``repro.obs`` package instruments all three layers of the stack:
+
+* **simulator** — typed, cycle-stamped events (:mod:`repro.obs.events`)
+  emitted into a pluggable sink (:mod:`repro.obs.sinks`); the default
+  :data:`NULL_SINK` keeps the fast path allocation-free;
+* **metrics** — stall-reason cycle attribution, barrier occupancy and
+  wait-time distributions, divergence-depth histograms
+  (:mod:`repro.obs.metrics`), surfaced via ``launch.metrics`` and
+  ``Profiler.summary()``;
+* **compiler** — timed pass-pipeline spans with IR deltas
+  (:mod:`repro.obs.spans`) attached to ``CompileReport.spans``;
+* **export** — Chrome Trace Event Format for ``chrome://tracing`` /
+  Perfetto (:mod:`repro.obs.chrome_trace`) and the
+  ``python -m repro.tools.trace`` CLI.
+
+See ``docs/observability.md`` for the event taxonomy and examples.
+"""
+
+from repro.obs.chrome_trace import (
+    chrome_trace,
+    simulator_trace_events,
+    span_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.events import (
+    BarrierArriveEvent,
+    BarrierReleaseEvent,
+    DivergeEvent,
+    IssueEvent,
+    ReconvergeEvent,
+    TraceEvent,
+)
+from repro.obs.metrics import (
+    ACTIVE,
+    STALL_BARRIER,
+    STALL_DIVERGED,
+    STALL_FINISHED,
+    STALL_REASONS,
+    Histogram,
+    LaunchMetrics,
+)
+from repro.obs.sinks import (
+    NULL_SINK,
+    CallbackSink,
+    EventSink,
+    ListSink,
+    NullSink,
+)
+from repro.obs.spans import IRStats, Span, SpanRecorder, module_stats
+
+__all__ = [
+    "ACTIVE",
+    "BarrierArriveEvent",
+    "BarrierReleaseEvent",
+    "CallbackSink",
+    "DivergeEvent",
+    "EventSink",
+    "Histogram",
+    "IRStats",
+    "IssueEvent",
+    "LaunchMetrics",
+    "ListSink",
+    "NULL_SINK",
+    "NullSink",
+    "ReconvergeEvent",
+    "STALL_BARRIER",
+    "STALL_DIVERGED",
+    "STALL_FINISHED",
+    "STALL_REASONS",
+    "Span",
+    "SpanRecorder",
+    "TraceEvent",
+    "chrome_trace",
+    "module_stats",
+    "simulator_trace_events",
+    "span_trace_events",
+    "write_chrome_trace",
+]

@@ -1,0 +1,200 @@
+"""Chrome Trace Event Format export (``chrome://tracing`` / Perfetto).
+
+Converts simulator events (:mod:`repro.obs.events`) and compiler pipeline
+spans (:mod:`repro.obs.spans`) into the JSON object format that Chrome's
+tracer and https://ui.perfetto.dev load directly::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms", ...}
+
+Mapping:
+
+* the compiler is process 0 (one ``X`` slice per pipeline span, wall time
+  in microseconds, IR deltas in ``args``);
+* the simulator is process 1 with one thread per warp; each issued
+  instruction is an ``X`` slice whose timestamp/duration are warp-local
+  cycles (rendered as microseconds — 1 cycle = 1 us);
+* divergence, barrier arrive/release, and reconvergence are thread-scoped
+  instant events; active-lane counts are emitted as counter (``C``)
+  events so Perfetto draws the SIMT-occupancy curve.
+
+Use :func:`chrome_trace` for the dict, :func:`write_chrome_trace` for the
+file. ``python -m repro.tools.trace`` wires this to workloads.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["chrome_trace", "write_chrome_trace",
+           "simulator_trace_events", "span_trace_events"]
+
+COMPILER_PID = 0
+SIMULATOR_PID = 1
+
+
+def _lanes(lanes):
+    return sorted(lanes) if lanes else []
+
+
+def simulator_trace_events(events, pid=SIMULATOR_PID, counters=True):
+    """Chrome dicts for an iterable of simulator events (any kinds)."""
+    out = []
+    warps = set()
+    for event in events:
+        kind = getattr(event, "kind", None)
+        wid = event.warp_id
+        warps.add(wid)
+        if kind == "issue":
+            opcode = getattr(event.opcode, "value", event.opcode)
+            out.append({
+                "name": f"{opcode} @{event.function}/{event.block}",
+                "cat": "sim,issue",
+                "ph": "X",
+                "ts": event.ts,
+                "dur": event.dur,
+                "pid": pid,
+                "tid": wid,
+                "args": {
+                    "function": event.function,
+                    "block": event.block,
+                    "index": event.index,
+                    "active": event.active,
+                    "lanes": _lanes(event.lanes),
+                },
+            })
+            if counters:
+                out.append({
+                    "name": f"active lanes (warp {wid})",
+                    "cat": "sim",
+                    "ph": "C",
+                    "ts": event.ts,
+                    "pid": pid,
+                    "args": {"active": event.active},
+                })
+        elif kind == "diverge":
+            out.append({
+                "name": f"diverge @{event.function}/{event.block}",
+                "cat": "sim,diverge",
+                "ph": "i",
+                "s": "t",
+                "ts": event.ts,
+                "pid": pid,
+                "tid": wid,
+                "args": {
+                    target: _lanes(lanes)
+                    for target, lanes in sorted(event.targets.items())
+                },
+            })
+        elif kind == "barrier_arrive":
+            out.append({
+                "name": f"arrive {event.barrier}",
+                "cat": "sim,barrier",
+                "ph": "i",
+                "s": "t",
+                "ts": event.ts,
+                "pid": pid,
+                "tid": wid,
+                "args": {"lanes": _lanes(event.lanes),
+                         "parked": event.parked},
+            })
+        elif kind == "barrier_release":
+            out.append({
+                "name": f"release {event.barrier}",
+                "cat": "sim,barrier",
+                "ph": "i",
+                "s": "t",
+                "ts": event.ts,
+                "pid": pid,
+                "tid": wid,
+                "args": {"lanes": _lanes(event.lanes)},
+            })
+        elif kind == "reconverge":
+            out.append({
+                "name": f"reconverge @{event.function}/{event.block}",
+                "cat": "sim,reconverge",
+                "ph": "i",
+                "s": "t",
+                "ts": event.ts,
+                "pid": pid,
+                "tid": wid,
+                "args": {"lanes": _lanes(event.lanes)},
+            })
+    meta = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "args": {"name": "simulator (cycles as us)"},
+    }]
+    for wid in sorted(warps):
+        meta.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": wid,
+            "args": {"name": f"warp {wid}"},
+        })
+    return meta + out
+
+
+def span_trace_events(spans, pid=COMPILER_PID):
+    """Chrome dicts for compiler pipeline spans (wall seconds -> us)."""
+    out = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "args": {"name": "compiler pipeline"},
+    }, {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": "passes"},
+    }]
+    for span in spans:
+        out.append({
+            "name": span.name,
+            "cat": "compile",
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": pid,
+            "tid": 0,
+            "args": {"ir_delta": span.ir_delta},
+        })
+    return out
+
+
+def chrome_trace(launch=None, events=None, report=None, counters=True):
+    """Build the Chrome Trace Event JSON object.
+
+    Args:
+        launch: a LaunchResult; its ``profiler.trace`` issue events are
+            exported (ignored when ``events`` is given, which is the
+            superset a sink collected).
+        events: an iterable of simulator events (e.g. ``ListSink.events``).
+        report: a CompileReport; its ``spans`` become the compiler track.
+    """
+    trace_events = []
+    if events is None and launch is not None:
+        events = launch.profiler.trace or []
+    if events is not None:
+        trace_events.extend(simulator_trace_events(events, counters=counters))
+    spans = getattr(report, "spans", None) or []
+    if spans:
+        trace_events.extend(span_trace_events(spans))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs.chrome_trace"},
+    }
+
+
+def write_chrome_trace(path, launch=None, events=None, report=None,
+                       counters=True):
+    """Serialize :func:`chrome_trace` to ``path``; returns the dict."""
+    data = chrome_trace(
+        launch=launch, events=events, report=report, counters=counters
+    )
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=1)
+    return data

@@ -1,0 +1,209 @@
+"""Stall-reason metrics: where do the cycles actually go?
+
+The profiler says *how many* cycles a launch took; this registry says
+*why*. Every issue of duration ``c`` attributes ``c`` cycles to exactly one
+bucket per lane of the issuing warp:
+
+* ``active`` — the lane was in the issuing PC-group,
+* ``barrier_wait`` — the lane was parked on a convergence barrier,
+* ``diverged_inactive`` — the lane was runnable but at a different PC
+  (divergence serialization, the paper's lost SIMT efficiency),
+* ``finished`` — the lane had exited the kernel.
+
+That makes the attribution *exactly conservative*: for every warp and
+every lane, the buckets sum to the warp's total cycles
+(:meth:`LaunchMetrics.check_attribution`), so "cycles lost to barrier
+waits" and "cycles lost to divergence" are directly comparable to the
+runtime the profiler reports.
+
+On top of the attribution, the registry keeps per-barrier occupancy and
+wait-time distributions and a divergence-depth histogram (number of
+distinct PC-groups per issue).
+
+Metrics are off by default; ``GPUMachine(..., metrics=True)`` turns them
+on, and ``launch.metrics`` exposes the populated registry.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ACTIVE",
+    "STALL_BARRIER",
+    "STALL_DIVERGED",
+    "STALL_FINISHED",
+    "STALL_REASONS",
+    "Histogram",
+    "LaunchMetrics",
+]
+
+ACTIVE = "active"
+STALL_BARRIER = "barrier_wait"
+STALL_DIVERGED = "diverged_inactive"
+STALL_FINISHED = "finished"
+STALL_REASONS = (STALL_BARRIER, STALL_DIVERGED, STALL_FINISHED)
+
+
+class Histogram:
+    """A sparse integer-valued histogram (value -> count)."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self):
+        self.counts = {}
+
+    def add(self, value, weight=1):
+        self.counts[value] = self.counts.get(value, 0) + weight
+
+    @property
+    def count(self):
+        return sum(self.counts.values())
+
+    @property
+    def total(self):
+        return sum(v * c for v, c in self.counts.items())
+
+    @property
+    def mean(self):
+        n = self.count
+        return self.total / n if n else 0.0
+
+    @property
+    def min(self):
+        return min(self.counts) if self.counts else 0
+
+    @property
+    def max(self):
+        return max(self.counts) if self.counts else 0
+
+    def to_dict(self):
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "values": {str(k): v for k, v in sorted(self.counts.items())},
+        }
+
+    def __repr__(self):
+        return (f"<Histogram n={self.count} mean={self.mean:.2f} "
+                f"min={self.min} max={self.max}>")
+
+
+class LaunchMetrics:
+    """Cycle attribution + barrier/divergence distributions for one launch."""
+
+    def __init__(self):
+        #: warp_id -> total cycles the warp spent (mirrors the profiler)
+        self.warp_cycles = {}
+        #: warp_id -> lane -> {bucket: cycles}; buckets are ACTIVE + stalls
+        self.lane_attribution = {}
+        #: distinct runnable PC-groups per issue
+        self.divergence_depth = Histogram()
+        #: barrier name -> Histogram of parked-lane count at each arrival
+        self.barrier_occupancy = {}
+        #: barrier name -> Histogram of park-to-release wait durations
+        self.barrier_wait = {}
+        self._park_ts = {}  # (warp_id, barrier, lane) -> park cycle
+
+    # ------------------------------------------------------------------
+    # Hooks driven by the executor / machine (slow path only)
+    # ------------------------------------------------------------------
+    def on_issue(self, warp, pc, opcode, group, cycles):
+        """Attribute ``cycles`` for every lane of ``warp`` for one issue."""
+        wid = warp.warp_id
+        lanes = self.lane_attribution.get(wid)
+        if lanes is None:
+            lanes = self.lane_attribution[wid] = {
+                t.lane: {} for t in warp.threads
+            }
+        active_lanes = {t.lane for t in group}
+        pcs = set()
+        for thread in warp.threads:
+            if thread.lane in active_lanes:
+                bucket = ACTIVE
+            elif thread.is_exited:
+                bucket = STALL_FINISHED
+            elif thread.is_runnable:
+                bucket = STALL_DIVERGED
+                pcs.add(thread.pc())
+            else:
+                bucket = STALL_BARRIER
+            attr = lanes[thread.lane]
+            attr[bucket] = attr.get(bucket, 0) + cycles
+        # Active lanes share one PC; runnable-but-inactive lanes add theirs.
+        self.divergence_depth.add(len(pcs) + 1)
+        self.warp_cycles[wid] = self.warp_cycles.get(wid, 0) + cycles
+
+    def on_park(self, warp_id, barrier, lanes, ts, parked):
+        hist = self.barrier_occupancy.get(barrier)
+        if hist is None:
+            hist = self.barrier_occupancy[barrier] = Histogram()
+        hist.add(parked)
+        for lane in lanes:
+            self._park_ts[(warp_id, barrier, lane)] = ts
+
+    def on_release(self, warp_id, barrier, lanes, ts):
+        hist = self.barrier_wait.get(barrier)
+        if hist is None:
+            hist = self.barrier_wait[barrier] = Histogram()
+        for lane in lanes:
+            start = self._park_ts.pop((warp_id, barrier, lane), ts)
+            hist.add(ts - start)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def warp_attribution(self, warp_id):
+        """{bucket: cycles} summed over the warp's lanes."""
+        totals = {}
+        for attr in self.lane_attribution.get(warp_id, {}).values():
+            for bucket, cycles in attr.items():
+                totals[bucket] = totals.get(bucket, 0) + cycles
+        return totals
+
+    def stall_cycles(self):
+        """Launch-wide {reason: lane-cycles} over the three stall reasons."""
+        totals = {reason: 0 for reason in STALL_REASONS}
+        for wid in self.lane_attribution:
+            for bucket, cycles in self.warp_attribution(wid).items():
+                if bucket != ACTIVE:
+                    totals[bucket] = totals.get(bucket, 0) + cycles
+        return totals
+
+    def active_cycles(self):
+        """Launch-wide lane-cycles spent issuing."""
+        return sum(
+            self.warp_attribution(wid).get(ACTIVE, 0)
+            for wid in self.lane_attribution
+        )
+
+    def check_attribution(self):
+        """Verify the conservation law: per warp, per lane, the buckets sum
+        to the warp's total cycles. Returns the checked warp ids."""
+        checked = []
+        for wid, lanes in self.lane_attribution.items():
+            expected = self.warp_cycles.get(wid, 0)
+            for lane, attr in lanes.items():
+                got = sum(attr.values())
+                if got != expected:
+                    raise AssertionError(
+                        f"warp {wid} lane {lane}: attribution {got} != "
+                        f"warp cycles {expected} ({attr})"
+                    )
+            checked.append(wid)
+        return checked
+
+    def summary(self):
+        """JSON-ready digest used by ``Profiler.summary()`` and the CLI."""
+        return {
+            "stall_cycles": self.stall_cycles(),
+            "active_lane_cycles": self.active_cycles(),
+            "divergence_depth": self.divergence_depth.to_dict(),
+            "barriers": {
+                name: {
+                    "occupancy": self.barrier_occupancy[name].to_dict(),
+                    "wait": self.barrier_wait.get(name, Histogram()).to_dict(),
+                }
+                for name in sorted(self.barrier_occupancy)
+            },
+        }

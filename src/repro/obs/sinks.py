@@ -1,0 +1,70 @@
+"""Pluggable event sinks.
+
+The simulator emits :mod:`repro.obs.events` into a sink. The default is
+:data:`NULL_SINK`, whose ``enabled`` flag is ``False`` — every emission
+site guards on that flag, so a disabled launch allocates no event objects
+and pays one attribute check per issue.
+
+Sinks receive *every* event kind (issues, divergence, barrier traffic,
+reconvergence); the profiler's ``trace`` list, by contrast, keeps only
+issue events for the legacy timeline API.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EventSink", "NullSink", "ListSink", "CallbackSink", "NULL_SINK"]
+
+
+class EventSink:
+    """Receives simulator events; subclass and override :meth:`emit`."""
+
+    #: emission sites skip event construction entirely when False
+    enabled = True
+
+    def emit(self, event):
+        raise NotImplementedError
+
+    def close(self):
+        """Flush/teardown hook; the default does nothing."""
+
+
+class NullSink(EventSink):
+    """Discards everything; ``enabled`` is False so nothing is built."""
+
+    enabled = False
+
+    def emit(self, event):  # pragma: no cover - guarded out by ``enabled``
+        pass
+
+
+#: Shared default instance (sinks are stateless unless they collect).
+NULL_SINK = NullSink()
+
+
+class ListSink(EventSink):
+    """Collects events in memory (the trace CLI and tests use this)."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def of_kind(self, kind):
+        return [e for e in self.events if e.kind == kind]
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class CallbackSink(EventSink):
+    """Forwards every event to a callable (streaming consumers)."""
+
+    def __init__(self, fn):
+        self._fn = fn
+
+    def emit(self, event):
+        self._fn(event)

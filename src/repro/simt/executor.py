@@ -13,9 +13,20 @@ import math
 
 from repro.errors import SimulationError
 from repro.ir.instructions import Barrier, BlockRef, FuncRef, Imm, Opcode, Reg
+from repro.obs.events import (
+    BarrierArriveEvent,
+    BarrierReleaseEvent,
+    DivergeEvent,
+    IssueEvent,
+    ReconvergeEvent,
+)
+from repro.obs.sinks import NULL_SINK
 from repro.simt.barrier_state import ALL_MEMBERS
 
 _WARPSYNC_BARRIER = "__warpsync__"
+
+#: Opcodes whose execution can park lanes on a convergence barrier.
+_PARK_OPS = frozenset((Opcode.BSYNC, Opcode.BSYNCSOFT, Opcode.WARPSYNC))
 
 
 def _as_int(value):
@@ -64,11 +75,18 @@ _UNARY_EVAL = {
 class Executor:
     """Executes instructions for thread groups of one launch."""
 
-    def __init__(self, module, memory, cost_model, profiler):
+    def __init__(self, module, memory, cost_model, profiler, sink=None,
+                 metrics=None):
         self.module = module
         self.memory = memory
         self.cost_model = cost_model
         self.profiler = profiler
+        # Observability: a pluggable event sink plus a stall-metrics
+        # registry. With the defaults, the per-issue cost is one boolean
+        # check and no allocations.
+        self.sink = sink if sink is not None else NULL_SINK
+        self.metrics = metrics
+        self.observing = bool(self.sink.enabled or metrics is not None)
         # Program order for scheduler tie-breaking and fetches.
         self._block_pos = {
             fn.name: {block.name: pos for pos, block in enumerate(fn.blocks)}
@@ -283,6 +301,8 @@ class Executor:
         for thread in group:
             thread.retired += 1
 
+        if self.observing:
+            self._observe_issue(warp, pc, instr, group, cycles)
         self.profiler.record(
             warp.warp_id,
             pc,
@@ -298,3 +318,107 @@ class Executor:
         )
         warp.cycles += cycles
         return cycles
+
+    # ------------------------------------------------------------------
+    # Observability (cold path: only runs with a live sink or metrics)
+    # ------------------------------------------------------------------
+    def _observe_issue(self, warp, pc, instr, group, cycles):
+        """Emit events / update metrics for one just-executed issue.
+
+        Runs after the instruction's effects but before ``warp.cycles``
+        advances, so ``warp.cycles`` is the issue's start timestamp.
+        """
+        ts = warp.cycles
+        opcode = instr.opcode
+        function, block, index = pc
+        metrics = self.metrics
+        sink = self.sink
+        if metrics is not None:
+            metrics.on_issue(warp, pc, opcode, group, cycles)
+        if sink.enabled:
+            sink.emit(
+                IssueEvent(
+                    warp_id=warp.warp_id,
+                    function=function,
+                    block=block,
+                    index=index,
+                    opcode=opcode,
+                    lanes=frozenset(t.lane for t in group),
+                    ts=ts,
+                    dur=cycles,
+                    active=len(group),
+                )
+            )
+            if opcode is Opcode.CBR:
+                targets = {}
+                for thread in group:
+                    targets.setdefault(thread.frame.block_name, set()).add(
+                        thread.lane
+                    )
+                if len(targets) > 1:
+                    sink.emit(
+                        DivergeEvent(
+                            warp_id=warp.warp_id,
+                            function=function,
+                            block=block,
+                            ts=ts,
+                            targets={
+                                t: frozenset(l) for t, l in targets.items()
+                            },
+                        )
+                    )
+        if opcode in _PARK_OPS:
+            # Lanes that just parked are WAITING with waiting_on set.
+            parked = {}
+            for thread in group:
+                if thread.waiting_on is not None and not thread.is_runnable:
+                    parked.setdefault(thread.waiting_on, []).append(
+                        thread.lane
+                    )
+            for name, lanes in parked.items():
+                occupancy = len(warp.barriers.get(name).parked)
+                if metrics is not None:
+                    metrics.on_park(warp.warp_id, name, lanes, ts, occupancy)
+                if sink.enabled:
+                    sink.emit(
+                        BarrierArriveEvent(
+                            warp_id=warp.warp_id,
+                            barrier=name,
+                            ts=ts,
+                            lanes=frozenset(lanes),
+                            parked=occupancy,
+                        )
+                    )
+
+    def observe_release(self, warp, barrier, lanes):
+        """Hook for barrier releases (driven by the machine's drain)."""
+        ts = warp.cycles
+        if self.metrics is not None:
+            self.metrics.on_release(warp.warp_id, barrier.name, lanes, ts)
+        if self.sink.enabled:
+            self.sink.emit(
+                BarrierReleaseEvent(
+                    warp_id=warp.warp_id,
+                    barrier=barrier.name,
+                    ts=ts,
+                    lanes=frozenset(lanes),
+                )
+            )
+            # The released lanes merge with whoever is already runnable at
+            # their resume PC — that merged group is the reconvergence.
+            resume = warp.threads[min(lanes)]
+            pc = resume.pc()
+            merged = frozenset(
+                t.lane
+                for t in warp.threads
+                if t.is_runnable and t.pc() == pc
+            )
+            self.sink.emit(
+                ReconvergeEvent(
+                    warp_id=warp.warp_id,
+                    function=pc[0],
+                    block=pc[1],
+                    ts=ts,
+                    lanes=merged,
+                )
+            )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import DeadlockError, LaunchError, SimulationError
+from repro.obs.metrics import LaunchMetrics
 from repro.simt.costs import DEFAULT_COST_MODEL
 from repro.simt.executor import Executor
 from repro.simt.memory import GlobalMemory
@@ -45,6 +46,11 @@ class LaunchResult:
     def retired_per_thread(self):
         return {t.tid: t.retired for t in self.threads}
 
+    @property
+    def metrics(self):
+        """Stall-reason metrics (LaunchMetrics), or None when disabled."""
+        return self.profiler.metrics
+
 
 class GPUMachine:
     """Executes kernels of a module under a scheduler and cost model."""
@@ -57,14 +63,21 @@ class GPUMachine:
         seed=2020,
         max_issues=20_000_000,
         trace=False,
+        sink=None,
+        metrics=False,
     ):
         self.module = module
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.scheduler_name = scheduler
         self.seed = seed
         self.max_issues = max_issues
-        # Record (warp, block, lanes) per issue for timeline rendering.
+        # Observability, all off by default (the fast path stays
+        # allocation-free): ``trace`` records cycle-stamped IssueEvents for
+        # timeline rendering, ``sink`` streams every event kind to a
+        # repro.obs sink, ``metrics`` enables stall-reason attribution.
         self.trace = trace
+        self.sink = sink
+        self.metrics = metrics
 
     def launch(self, kernel_name, n_threads, args=(), memory=None):
         kernel = self.module.function(kernel_name)
@@ -79,7 +92,12 @@ class GPUMachine:
             )
         memory = memory if memory is not None else GlobalMemory()
         profiler = Profiler(trace=self.trace)
-        executor = Executor(self.module, memory, self.cost_model, profiler)
+        metrics = LaunchMetrics() if self.metrics else None
+        profiler.metrics = metrics
+        executor = Executor(
+            self.module, memory, self.cost_model, profiler,
+            sink=self.sink, metrics=metrics,
+        )
         scheduler = make_scheduler(self.scheduler_name)
 
         warps = []
@@ -120,9 +138,16 @@ class GPUMachine:
     # ------------------------------------------------------------------
     def _step(self, warp, executor, scheduler):
         """Issue one instruction for ``warp``; returns True if issued."""
+        on_release = None
+        if executor.observing:
+            on_release = (
+                lambda barrier, lanes: executor.observe_release(
+                    warp, barrier, lanes
+                )
+            )
         groups = warp.groups()
         if not groups:
-            warp.drain_releasable()
+            warp.drain_releasable(on_release)
             groups = warp.groups()
         if not groups:
             if not warp.live_threads():
@@ -140,5 +165,5 @@ class GPUMachine:
             )
         pc = scheduler.pick(groups, executor.program_order)
         executor.execute(warp, pc, groups[pc])
-        warp.drain_releasable()
+        warp.drain_releasable(on_release)
         return True

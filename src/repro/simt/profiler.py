@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.events import IssueEvent
 from repro.simt.warp import WARP_SIZE
 
 
@@ -37,14 +38,29 @@ class Profiler:
         self.block_profiles = {}    # (function, block) -> BlockProfile
         self.warp_cycles = {}       # warp_id -> cycles
         self.barrier_issues = 0
-        #: when tracing, every issue as (warp_id, function, block, lanes)
+        #: when tracing, every issue as a cycle-stamped IssueEvent (which
+        #: unpacks as the legacy ``(warp_id, function, block, lanes)`` tuple)
         self.trace = [] if trace else None
+        #: LaunchMetrics attached by the machine when metrics are enabled
+        self.metrics = None
 
     def record(self, warp_id, pc, opcode, active, cycles, is_barrier_op=False,
                lanes=None):
         function, block, index = pc
         if self.trace is not None:
-            self.trace.append((warp_id, function, block, lanes or frozenset()))
+            self.trace.append(
+                IssueEvent(
+                    warp_id=warp_id,
+                    function=function,
+                    block=block,
+                    index=index,
+                    opcode=opcode,
+                    lanes=lanes or frozenset(),
+                    ts=self.warp_cycles.get(warp_id, 0),
+                    dur=cycles,
+                    active=active,
+                )
+            )
         self.issued += 1
         self.active_sum += active
         self.cycles_sum += cycles
@@ -88,10 +104,29 @@ class Profiler:
             return 1.0
         return active / (issued * WARP_SIZE)
 
+    @property
+    def avg_active_lanes(self):
+        """Average active lanes per issued instruction (0..WARP_SIZE)."""
+        return self.active_sum / self.issued if self.issued else 0.0
+
+    def opcode_issues(self):
+        """Per-opcode issue counts keyed by mnemonic, sorted descending."""
+        counts = {
+            getattr(op, "value", str(op)): n
+            for op, n in self.opcode_counts.items()
+        }
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
     def summary(self):
+        """Launch digest; stall attribution appears when metrics were on."""
         return {
             "issued": self.issued,
             "cycles": self.total_cycles,
             "simt_efficiency": self.simt_efficiency,
             "barrier_issues": self.barrier_issues,
+            "avg_active_lanes": self.avg_active_lanes,
+            "opcode_issues": self.opcode_issues(),
+            "stall_cycles": (
+                self.metrics.stall_cycles() if self.metrics is not None else {}
+            ),
         }

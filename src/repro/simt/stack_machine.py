@@ -23,6 +23,8 @@ from repro.analysis.cfg_utils import CFGView
 from repro.analysis.dominators import compute_post_dominators
 from repro.errors import LaunchError, SimulationError
 from repro.ir.instructions import Opcode
+from repro.obs.events import ReconvergeEvent
+from repro.obs.metrics import LaunchMetrics
 from repro.simt.costs import DEFAULT_COST_MODEL
 from repro.simt.executor import Executor
 from repro.simt.machine import LaunchResult
@@ -68,11 +70,15 @@ class _ReconvergenceTable:
 class StackGPUMachine:
     """Executes kernels with stack-based (pre-Volta) reconvergence."""
 
-    def __init__(self, module, cost_model=None, seed=2020, max_issues=20_000_000):
+    def __init__(self, module, cost_model=None, seed=2020, max_issues=20_000_000,
+                 trace=False, sink=None, metrics=False):
         self.module = module
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.seed = seed
         self.max_issues = max_issues
+        self.trace = trace
+        self.sink = sink
+        self.metrics = metrics
         self._rpcs = _ReconvergenceTable(module)
 
     def launch(self, kernel_name, n_threads, args=(), memory=None):
@@ -86,8 +92,13 @@ class StackGPUMachine:
                 f"@{kernel_name} takes {len(kernel.params)} arguments"
             )
         memory = memory if memory is not None else GlobalMemory()
-        profiler = Profiler()
-        executor = Executor(self.module, memory, self.cost_model, profiler)
+        profiler = Profiler(trace=self.trace)
+        metrics = LaunchMetrics() if self.metrics else None
+        profiler.metrics = metrics
+        executor = Executor(
+            self.module, memory, self.cost_model, profiler,
+            sink=self.sink, metrics=metrics,
+        )
 
         all_threads = []
         issues = 0
@@ -141,6 +152,18 @@ class StackGPUMachine:
             ):
                 stack.pop()
                 entry.parent.lanes |= entry.lanes
+                if executor.sink.enabled:
+                    # Structural reconvergence: the popped entry's lanes
+                    # merge with the parent at the reconvergence PC.
+                    executor.sink.emit(
+                        ReconvergeEvent(
+                            warp_id=warp.warp_id,
+                            function=function_name,
+                            block=block_name,
+                            ts=warp.cycles,
+                            lanes=frozenset(entry.parent.lanes),
+                        )
+                    )
                 continue
 
             instr = executor.fetch(pc)

@@ -166,14 +166,20 @@ class Warp:
                 )
             thread.unpark()
 
-    def drain_releasable(self):
-        """Release every barrier whose condition holds; returns #released."""
+    def drain_releasable(self, on_release=None):
+        """Release every barrier whose condition holds; returns #released.
+
+        ``on_release(barrier, lanes)`` is an optional observability hook
+        invoked after each release (None on the fast path).
+        """
         released = 0
         progress = True
         while progress:
             progress = False
             for barrier, lanes in self.barriers.all_releasable():
                 self.release(barrier, lanes)
+                if on_release is not None:
+                    on_release(barrier, lanes)
                 released += len(lanes)
                 progress = True
         return released

@@ -1,1 +1,2 @@
-"""Command-line tools: the srkc compiler driver."""
+"""Command-line tools: the srkc compiler driver and the trace exporter
+(``python -m repro.tools.trace`` — see docs/observability.md)."""

@@ -156,12 +156,17 @@ class Workload:
         seed=2020,
         compiled=None,
         auto_options=None,
+        trace=False,
+        sink=None,
+        metrics=False,
         **compiler_options,
     ):
         """Compile (unless ``compiled`` given) and simulate one launch.
 
         ``threshold="default"`` uses the workload's ``sr_threshold``;
         ``None`` forces a hard barrier; an int sets a soft threshold.
+        ``trace``/``sink``/``metrics`` enable repro.obs observability on
+        the launch (all off by default).
         """
         if threshold == "default":
             threshold = self.sr_threshold
@@ -175,7 +180,10 @@ class Workload:
             )
         memory = GlobalMemory()
         args = self.setup(memory)
-        machine = GPUMachine(compiled.module, scheduler=scheduler, seed=seed)
+        machine = GPUMachine(
+            compiled.module, scheduler=scheduler, seed=seed,
+            trace=trace, sink=sink, metrics=metrics,
+        )
         launch = machine.launch(
             self.kernel_name, self.n_threads, args=args, memory=memory
         )

@@ -5,8 +5,10 @@ import json
 from repro.harness.experiment import compare_all
 from repro.harness.export import (
     collect_results,
+    collect_summaries,
     comparison_rows_to_dicts,
     main as export_main,
+    summaries_to_csv,
     to_csv,
 )
 from tests.test_workloads import FAST_PARAMS
@@ -27,14 +29,43 @@ class TestExport:
         assert lines[1].startswith("mcb,")
 
     def test_collect_results_serializable(self):
-        results = collect_results(sweep_workloads=())
+        results = collect_results(
+            sweep_workloads=(),
+            summary_workloads={"funccall": FAST_PARAMS["funccall"]},
+        )
         text = json.dumps(results)
         parsed = json.loads(text)
         assert len(parsed["figure7_8"]) == 9
+        summary = parsed["summaries"]["funccall"]
+        assert summary["stall_cycles"]
+        assert "metrics" in summary
+
+    def test_collect_summaries_has_attribution(self):
+        summaries = collect_summaries(
+            workloads={"mcb": FAST_PARAMS["mcb"]}
+        )
+        summary = summaries["mcb"]
+        assert summary["avg_active_lanes"] > 0
+        assert summary["metrics"]["active_lane_cycles"] > 0
+        assert "barrier_wait" in summary["stall_cycles"]
+
+    def test_summaries_csv(self):
+        summaries = collect_summaries(
+            workloads={"funccall": FAST_PARAMS["funccall"]}
+        )
+        lines = summaries_to_csv(summaries).strip().splitlines()
+        assert lines[0].startswith("workload,reason,lane_cycles")
+        reasons = {line.split(",")[1] for line in lines[1:]}
+        assert "active" in reasons and "barrier_wait" in reasons
 
     def test_cli_writes_file(self, tmp_path, capsys):
         out = tmp_path / "r.json"
-        assert export_main(["--output", str(out)]) == 0
+        csv_out = tmp_path / "s.csv"
+        assert export_main(
+            ["--output", str(out), "--summary-csv", str(csv_out)]
+        ) == 0
         data = json.loads(out.read_text())
         assert "figure9" in data
         assert set(data["figure9"]) == {"pathtracer", "xsbench"}
+        assert "summaries" in data
+        assert csv_out.read_text().startswith("workload,")

@@ -57,7 +57,19 @@ class TestProfiler:
     def test_summary_keys(self):
         result = self._run("kernel k() { store(tid(), 1.0); }")
         summary = result.profiler.summary()
-        assert set(summary) == {"issued", "cycles", "simt_efficiency", "barrier_issues"}
+        assert set(summary) == {
+            "issued",
+            "cycles",
+            "simt_efficiency",
+            "barrier_issues",
+            "avg_active_lanes",
+            "opcode_issues",
+            "stall_cycles",
+        }
+        assert summary["avg_active_lanes"] == pytest.approx(32.0)
+        assert summary["opcode_issues"]["st"] == 1
+        # No metrics attached -> empty stall attribution.
+        assert summary["stall_cycles"] == {}
 
     def test_warp_cycles_per_warp(self):
         result = self._run("kernel k() { store(tid(), 1.0); }", n=WARP_SIZE * 2)

@@ -91,6 +91,77 @@ class TestRendering:
         assert symbols["a"] == "A"
 
 
+DELAY_KERNEL = """
+kernel k() {
+    let t = tid();
+    if (t < 1) {
+        delay(60);
+    }
+    store(t, 1.0);
+}
+"""
+
+
+class _FakeProfiler:
+    def __init__(self, trace):
+        self.trace = trace
+
+
+class _FakeLaunch:
+    def __init__(self, trace):
+        self.profiler = _FakeProfiler(trace)
+
+
+class TestCycleAccurateRendering:
+    def _delay_launch(self):
+        module = compile_baseline(compile_kernel_source(DELAY_KERNEL)).module
+        return _traced_launch(module, n=32)
+
+    def _delay_block(self, launch):
+        event = max(launch.profiler.trace, key=lambda e: e.dur)
+        assert event.dur == 60
+        return event.block
+
+    def test_expensive_instruction_gets_proportional_width(self):
+        launch = self._delay_launch()
+        block = self._delay_block(launch)
+        accurate = render_timeline(
+            launch, width=60, highlight=block, legend=False, by_cycles=True
+        )
+        slotted = render_timeline(
+            launch, width=60, highlight=block, legend=False, by_cycles=False
+        )
+        # The 60-cycle delay dominates lane 0's wall clock, so it must
+        # span far more columns than the one issue slot it occupies.
+        assert accurate.count("#") > slotted.count("#")
+        assert slotted.count("#") >= 1
+
+    def test_legend_unit_cycles_for_event_traces(self):
+        launch = self._delay_launch()
+        text = render_timeline(launch, width=40)
+        assert "cycles" in text
+        assert "issue slots" not in text
+
+    def test_legend_unit_issue_slots_for_legacy_tuples(self):
+        trace = [
+            (0, "k", "entry", frozenset(range(4))),
+            (0, "k", "entry", frozenset(range(4))),
+            (0, "k", "exit", frozenset(range(4))),
+        ]
+        text = render_timeline(_FakeLaunch(trace), width=3, lanes=4)
+        assert "issue slots" in text
+
+    def test_by_cycles_on_legacy_tuples_rejected(self):
+        trace = [(0, "k", "entry", frozenset({0}))]
+        with pytest.raises(ReproError, match="cycle-stamped"):
+            render_timeline(_FakeLaunch(trace), by_cycles=True, lanes=1)
+
+    def test_auto_falls_back_for_legacy_tuples(self):
+        trace = [(0, "k", "entry", frozenset({0, 1}))]
+        text = render_timeline(_FakeLaunch(trace), lanes=2, legend=False)
+        assert text.splitlines()[0].startswith("T00 |")
+
+
 class TestConvergenceSeries:
     def test_sr_waves_wider_than_pdom(self):
         module = compile_kernel_source(KERNEL)

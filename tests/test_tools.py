@@ -1,8 +1,11 @@
-"""srkc CLI driver tests."""
+"""srkc and trace CLI driver tests."""
+
+import json
 
 import pytest
 
 from repro.tools.srkc import build_parser, main
+from repro.tools.trace import main as trace_main
 
 KERNEL = """
 kernel axpy(n) {
@@ -98,3 +101,49 @@ class TestCLI:
             ("examples/kernels/loop_merge.srk", ["--args", "64"]),
         ):
             assert main([path, "--run"] + args) == 0
+
+
+class TestTraceCLI:
+    def test_list(self, capsys):
+        assert trace_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "funccall" in out and "mcb" in out
+
+    def test_requires_exactly_one_target(self, divergent_file):
+        with pytest.raises(SystemExit):
+            trace_main([])
+        with pytest.raises(SystemExit):
+            trace_main(["funccall", "--source", divergent_file])
+
+    def test_source_summary_and_spans(self, divergent_file, capsys):
+        assert trace_main(
+            ["--source", divergent_file, "--summary", "--spans"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SIMT efficiency" in out
+        assert "Cycle attribution" in out
+        assert "barrier_wait" in out
+        assert "pdom-sync" in out
+
+    def test_workload_export_is_valid_chrome_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert trace_main(["funccall", "-o", str(path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        data = json.loads(path.read_text())
+        events = data["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert pids == {0, 1}  # compiler spans and simulator events
+        assert all("name" in e and "ph" in e for e in events)
+        names = {e["name"] for e in events if e["pid"] == 0}
+        assert "pdom-sync" in names
+
+    def test_timeline_output(self, divergent_file, capsys):
+        assert trace_main(
+            ["--source", divergent_file, "--timeline", "--width", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "T00 |" in out and "cycles" in out
+
+    def test_unknown_workload_errors(self):
+        with pytest.raises(Exception):
+            trace_main(["no-such-workload"])
