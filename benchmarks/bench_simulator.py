@@ -1,11 +1,27 @@
 """Raw substrate throughput: simulator issue rate and compile time.
 
 Not a paper figure — tracks the reproduction's own performance so workload
-presets stay affordable.
+presets stay affordable. ``test_fastpath_corpus_sweep_speedup`` is the
+PR-level acceptance benchmark: the full Table 2 corpus sweep on the
+fast-path engine (pre-decode + compile cache + parallel runner) against
+the interpreted, cache-less, serial configuration, with the result
+recorded in ``BENCH_fastpath_sweep.json`` at the repo root.
 """
 
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
 from repro.core import ReconvergenceCompiler
-from repro.workloads import get_workload
+from repro.core.program_cache import PROGRAM_CACHE, cache_disabled
+from repro.harness.parallel import run_tasks, task
+from repro.simt.fastpath import clear_decode_cache, fastpath_disabled
+from repro.workloads import get_workload, workload_names
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SEED = 2020
 
 
 def test_simulator_issue_throughput(benchmark):
@@ -32,3 +48,95 @@ def test_compile_throughput(benchmark):
 
     prog = benchmark.pedantic(compile_sr, rounds=5, iterations=1)
     assert prog.report.sr_reports
+
+
+def _sweep_point(name, mode, seed=_SEED):
+    """One compile-and-launch of a Table 2 workload at its default preset.
+
+    Returns everything the speedup claim must hold fixed: SIMT efficiency,
+    cycles, and a digest of every thread's ordered store trace.
+    """
+    workload = get_workload(name)
+    result = workload.run(mode=mode, seed=seed)
+    traces = {
+        str(tid): trace
+        for tid, trace in sorted(result.launch.store_traces().items())
+    }
+    digest = hashlib.sha256(
+        json.dumps(traces, sort_keys=True).encode()
+    ).hexdigest()
+    return {
+        "workload": name,
+        "mode": mode,
+        "simt_efficiency": result.simt_efficiency,
+        "cycles": result.cycles,
+        "trace_sha256": digest,
+    }
+
+
+def _corpus_sweep(jobs=None):
+    """Figure 7/8-shaped sweep: every workload in baseline and sr mode."""
+    tasks = [
+        task(_sweep_point, name, mode)
+        for name in workload_names()
+        for mode in ("baseline", "sr")
+    ]
+    return run_tasks(tasks, jobs=jobs)
+
+
+def test_fastpath_corpus_sweep_speedup(benchmark):
+    """The tentpole's acceptance: >= 2x wall-clock on the corpus sweep with
+    bit-identical results.
+
+    Fast configuration: pre-decoded dispatch + compile cache + parallel
+    runner (``REPRO_BENCH_JOBS`` workers, default 4). Slow configuration:
+    the interpreted executor with caching off, serial — the pre-fastpath
+    engine. The required ratio is tunable via ``REPRO_BENCH_MIN_SPEEDUP``
+    for slower CI machines; the measured value is written to
+    ``BENCH_fastpath_sweep.json``.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+
+    # Warm module/program/decode caches in the parent so forked workers
+    # inherit them — the steady state of a figure-regeneration session.
+    reference = _corpus_sweep()
+    fast_results = benchmark.pedantic(
+        lambda: _corpus_sweep(jobs=jobs), rounds=3, iterations=1
+    )
+    fast_time = benchmark.stats.stats.min
+
+    with fastpath_disabled(), cache_disabled():
+        clear_decode_cache()
+        PROGRAM_CACHE.clear()
+        start = time.perf_counter()
+        slow_results = _corpus_sweep()
+        slow_time = time.perf_counter() - start
+
+    # Bit-identical results across engine, caching, and process fan-out.
+    assert fast_results == reference
+    assert slow_results == reference
+
+    speedup = slow_time / fast_time
+    record = {
+        "benchmark": "fastpath_corpus_sweep",
+        "corpus": sorted(workload_names()),
+        "modes": ["baseline", "sr"],
+        "seed": _SEED,
+        "jobs": jobs,
+        "fast_seconds": round(fast_time, 4),
+        "fast_seconds_mean": round(benchmark.stats.stats.mean, 4),
+        "slow_seconds": round(slow_time, 4),
+        "speedup": round(speedup, 3),
+        "min_speedup_required": min_speedup,
+        "bit_identical": True,
+    }
+    (_REPO_ROOT / "BENCH_fastpath_sweep.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    print(f"\ncorpus sweep: fast={fast_time:.2f}s slow={slow_time:.2f}s "
+          f"speedup={speedup:.2f}x (required {min_speedup:.1f}x)")
+    assert speedup >= min_speedup, (
+        f"corpus sweep speedup {speedup:.2f}x below the "
+        f"{min_speedup:.1f}x floor"
+    )

@@ -45,6 +45,14 @@ from repro.core.pipeline import (
     compile_baseline,
     compile_sr,
 )
+from repro.core.program_cache import (
+    PROGRAM_CACHE,
+    ProgramCache,
+    cache_disabled,
+    compile_cache_enabled,
+    compile_cached,
+    set_compile_cache,
+)
 from repro.core.primitives import (
     BarrierNamer,
     cancel_barrier,
@@ -75,20 +83,26 @@ __all__ = [
     "JoinedBarriers",
     "MODES",
     "PHYSICAL_BARRIERS",
+    "PROGRAM_CACHE",
     "PdomSyncReport",
     "Prediction",
     "PredictionRegion",
+    "ProgramCache",
     "ReconvergenceCompiler",
     "TuneResult",
     "STATIC",
     "allocate_barriers",
     "allocate_module",
     "annotate",
+    "cache_disabled",
     "cancel_barrier",
     "collect_predictions",
     "color_barriers",
     "compile_baseline",
+    "compile_cache_enabled",
+    "compile_cached",
     "compile_sr",
+    "set_compile_cache",
     "compute_region",
     "deconflict",
     "detect_and_annotate",

@@ -42,6 +42,8 @@ class InterproceduralReport:
     barrier: str = None
     exit_barrier: str = None
     callee: str = None
+    caller: str = None
+    threshold: int = None
     region_blocks: set = field(default_factory=set)
     cancel_blocks: list = field(default_factory=list)
     exit_wait_block: str = None
@@ -71,7 +73,11 @@ def insert_interprocedural_sr(module, function, prediction, namer=None):
             f"@{function.name}: Predict(@{callee_name}) but no call sites"
         )
 
-    report = InterproceduralReport(callee=callee_name)
+    report = InterproceduralReport(
+        callee=callee_name,
+        caller=function.name,
+        threshold=prediction.threshold,
+    )
     barrier = namer.fresh()
     exit_barrier = namer.fresh()
     report.barrier = barrier

@@ -21,7 +21,11 @@ from dataclasses import dataclass, field
 
 from repro.analysis.divergence import analyze_module_divergence
 from repro.core.allocation import allocate_module
-from repro.core.deconfliction import DYNAMIC, deconflict
+from repro.core.deconfliction import (
+    DYNAMIC,
+    deconflict,
+    deconflict_interprocedural,
+)
 from repro.core.directives import collect_predictions, strip_directives
 from repro.core.insertion import insert_speculative_reconvergence
 from repro.core.interprocedural import insert_interprocedural_sr
@@ -180,6 +184,20 @@ class ReconvergenceCompiler:
                             function, sr_barriers, strategy=self.deconfliction
                         )
                     )
+            # A soft interprocedural SR barrier waits at its callee's
+            # entry, invisible to the per-function analysis above; its
+            # conflicts are resolved at the call sites instead.
+            for sub in report.sr_reports:
+                if getattr(sub, "callee", None) and sub.threshold is not None:
+                    interproc = deconflict_interprocedural(
+                        clone.function(sub.caller),
+                        sub.barrier,
+                        sub.callee,
+                        exit_barrier=sub.exit_barrier,
+                        strategy=self.deconfliction,
+                    )
+                    if interproc.conflicts:
+                        report.deconfliction_reports.append(interproc)
 
         with spans.span("strip-directives", clone):
             for function in clone:

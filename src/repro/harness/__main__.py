@@ -33,14 +33,23 @@ def main(argv=None):
         "--full", action="store_true", help="run everything, including the 520-app funnel"
     )
     parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for parallelizable figures "
+             "(default: $REPRO_JOBS or 1; -1 = one per CPU)",
+    )
     args = parser.parse_args(argv)
 
+    # Figures whose experiment bags fan out over worker processes.
+    parallel_figures = {"fig7", "fig8", "fig9", "fig10"}
     names = args.figures or (sorted(ALL_FIGURES) if args.full else FAST_FIGURES)
     for name in names:
         fn = ALL_FIGURES[name]
         start = time.time()
         if name in ("table2", "funnel"):
             result = fn()
+        elif name in parallel_figures:
+            result = fn(seed=args.seed, jobs=args.jobs)
         else:
             result = fn(seed=args.seed)
         elapsed = time.time() - start

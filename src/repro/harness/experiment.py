@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.harness.parallel import run_tasks, task
 from repro.workloads import get_workload
 
 
@@ -49,13 +50,20 @@ def compare_workload(name, seed=2020, **params):
     )
 
 
-def compare_all(names, seed=2020, params=None):
-    """ComparisonRows for a list of workload names."""
+def compare_all(names, seed=2020, params=None, jobs=None):
+    """ComparisonRows for a list of workload names.
+
+    ``jobs`` farms the per-workload comparisons over worker processes;
+    rows come back in ``names`` order regardless.
+    """
     params = params or {}
-    return [
-        compare_workload(name, seed=seed, **params.get(name, {}))
-        for name in names
-    ]
+    return run_tasks(
+        [
+            task(compare_workload, name, seed=seed, **params.get(name, {}))
+            for name in names
+        ],
+        jobs=jobs,
+    )
 
 
 @dataclass
@@ -66,25 +74,36 @@ class SweepPoint:
     speedup: float
 
 
-def threshold_sweep(name, thresholds=None, seed=2020, **params):
+def _sweep_point(name, params, seed, threshold):
+    """One sweep point, returned as plain numbers (cheap to pickle)."""
+    workload = get_workload(name, **params)
+    result = workload.run(mode="sr", threshold=threshold, seed=seed)
+    return result.simt_efficiency, result.cycles
+
+
+def threshold_sweep(name, thresholds=None, seed=2020, jobs=None, **params):
     """Soft-barrier threshold sweep for one workload (Figure 9).
 
     Returns (baseline_result, [SweepPoint...]). ``threshold=32`` and above
-    behave as the hard barrier (wait for every member).
+    behave as the hard barrier (wait for every member). ``jobs`` farms the
+    sweep points over worker processes in threshold order.
     """
     workload = get_workload(name, **params)
     thresholds = list(thresholds) if thresholds is not None else list(range(0, 33, 4))
     baseline = workload.run(mode="baseline", seed=seed)
-    points = []
-    for k in thresholds:
-        effective = None if k >= 32 else k  # >=32 collapses to hard wait
-        result = workload.run(mode="sr", threshold=effective, seed=seed)
-        points.append(
-            SweepPoint(
-                threshold=k,
-                simt_efficiency=result.simt_efficiency,
-                cycles=result.cycles,
-                speedup=baseline.cycles / result.cycles,
-            )
+    # >=32 collapses to the hard wait (threshold None).
+    effective = [None if k >= 32 else k for k in thresholds]
+    measured = run_tasks(
+        [task(_sweep_point, name, params, seed, e) for e in effective],
+        jobs=jobs,
+    )
+    points = [
+        SweepPoint(
+            threshold=k,
+            simt_efficiency=eff,
+            cycles=cycles,
+            speedup=baseline.cycles / cycles,
         )
+        for k, (eff, cycles) in zip(thresholds, measured)
+    ]
     return baseline, points

@@ -81,12 +81,12 @@ def collect_summaries(seed=2020, workloads=None):
 
 
 def collect_results(seed=2020, sweep_workloads=("pathtracer", "xsbench"),
-                    summary_workloads=None):
+                    summary_workloads=None, jobs=None):
     """All fast-figure measurements as one JSON-serializable dict."""
-    rows = compare_all(FIGURE7_WORKLOADS, seed=seed)
+    rows = compare_all(FIGURE7_WORKLOADS, seed=seed, jobs=jobs)
     sweeps = {}
     for name in sweep_workloads:
-        baseline, points = threshold_sweep(name, seed=seed)
+        baseline, points = threshold_sweep(name, seed=seed, jobs=jobs)
         sweeps[name] = sweep_to_dicts(baseline, points)
     return {
         "figure7_8": comparison_rows_to_dicts(rows),
@@ -135,8 +135,12 @@ def main(argv=None):
         "--summary-csv", default=None,
         help="also write the stall-attribution summaries as CSV",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the sweeps (default: $REPRO_JOBS or 1)",
+    )
     args = parser.parse_args(argv)
-    results = collect_results(seed=args.seed)
+    results = collect_results(seed=args.seed, jobs=args.jobs)
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2)
     print(f"wrote {args.output}")

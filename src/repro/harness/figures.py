@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.harness.experiment import compare_all, threshold_sweep
+from repro.harness.parallel import run_tasks, task
 from repro.harness.report import efficiency_chart, format_table, markdown_table
 from repro.harness.timeline import render_timeline
 from repro.workloads import FIGURE7_WORKLOADS, REGISTRY, get_workload
@@ -49,8 +50,8 @@ def table2():
 # ---------------------------------------------------------------------------
 # Figure 7 — SIMT efficiency before/after SR
 # ---------------------------------------------------------------------------
-def figure7(seed=2020, workloads=FIGURE7_WORKLOADS, params=None):
-    rows = compare_all(workloads, seed=seed, params=params)
+def figure7(seed=2020, workloads=FIGURE7_WORKLOADS, params=None, jobs=None):
+    rows = compare_all(workloads, seed=seed, params=params, jobs=jobs)
     chart_rows = [(r.workload, r.baseline_eff, r.sr_eff) for r in rows]
     table_rows = [
         (r.workload, r.baseline_eff, r.sr_eff, f"{r.efficiency_gain:.2f}x",
@@ -72,8 +73,9 @@ def figure7(seed=2020, workloads=FIGURE7_WORKLOADS, params=None):
 # ---------------------------------------------------------------------------
 # Figure 8 — SIMT efficiency improvement vs speedup
 # ---------------------------------------------------------------------------
-def figure8(seed=2020, workloads=FIGURE7_WORKLOADS, params=None, rows=None):
-    rows = rows or compare_all(workloads, seed=seed, params=params)
+def figure8(seed=2020, workloads=FIGURE7_WORKLOADS, params=None, rows=None,
+            jobs=None):
+    rows = rows or compare_all(workloads, seed=seed, params=params, jobs=jobs)
     table_rows = [
         (
             r.workload,
@@ -98,11 +100,14 @@ def figure8(seed=2020, workloads=FIGURE7_WORKLOADS, params=None, rows=None):
 # ---------------------------------------------------------------------------
 # Figure 9 — soft-barrier threshold sweeps (PathTracer, XSBench)
 # ---------------------------------------------------------------------------
-def figure9(seed=2020, thresholds=None, workloads=("pathtracer", "xsbench")):
+def figure9(seed=2020, thresholds=None, workloads=("pathtracer", "xsbench"),
+            jobs=None):
     data = {}
     sections = []
     for name in workloads:
-        baseline, points = threshold_sweep(name, thresholds=thresholds, seed=seed)
+        baseline, points = threshold_sweep(
+            name, thresholds=thresholds, seed=seed, jobs=jobs
+        )
         data[name] = (baseline, points)
         rows = [
             (p.threshold, p.simt_efficiency, p.cycles, f"{p.speedup:.2f}x")
@@ -127,34 +132,38 @@ def figure9(seed=2020, thresholds=None, workloads=("pathtracer", "xsbench")):
 # ---------------------------------------------------------------------------
 # Figure 10 — automatic Speculative Reconvergence upside
 # ---------------------------------------------------------------------------
-def figure10(seed=2020, workloads=("meiyamd5", "optix", "rsbench", "pathtracer", "mcb")):
+def _figure10_row(name, seed):
+    """Baseline vs auto-SR vs annotated SR for one workload."""
+    workload = get_workload(name)
+    baseline = workload.run(mode="baseline", seed=seed)
+    auto = workload.run(
+        mode="auto",
+        threshold=None,
+        seed=seed,
+        auto_options={"auto_threshold": workload.sr_threshold or 16},
+    )
+    annotated = workload.run(mode="sr", seed=seed)
+    return (
+        name,
+        baseline.simt_efficiency,
+        auto.simt_efficiency,
+        annotated.simt_efficiency,
+        f"{baseline.cycles / auto.cycles:.2f}x",
+        f"{baseline.cycles / annotated.cycles:.2f}x",
+    )
+
+
+def figure10(seed=2020, workloads=("meiyamd5", "optix", "rsbench", "pathtracer", "mcb"),
+             jobs=None):
     """Auto-detected candidates: compare baseline, auto-SR and annotated SR.
 
     The paper restricts Figure 10 to cases with significant upside and
     notes "automatic Speculative Reconvergence performs the same as
     programmer-annotated variants of the benchmarks".
     """
-    rows = []
-    for name in workloads:
-        workload = get_workload(name)
-        baseline = workload.run(mode="baseline", seed=seed)
-        auto = workload.run(
-            mode="auto",
-            threshold=None,
-            seed=seed,
-            auto_options={"auto_threshold": workload.sr_threshold or 16},
-        )
-        annotated = workload.run(mode="sr", seed=seed)
-        rows.append(
-            (
-                name,
-                baseline.simt_efficiency,
-                auto.simt_efficiency,
-                annotated.simt_efficiency,
-                f"{baseline.cycles / auto.cycles:.2f}x",
-                f"{baseline.cycles / annotated.cycles:.2f}x",
-            )
-        )
+    rows = run_tasks(
+        [task(_figure10_row, name, seed) for name in workloads], jobs=jobs
+    )
     text = format_table(
         [
             "benchmark",

@@ -1,0 +1,69 @@
+"""Parallel sweep runner: fan independent experiment configs over workers.
+
+Every figure regeneration is a bag of independent experiments — one
+``compare_workload`` per Table 2 row, one compile-and-launch per threshold
+sweep point — that share nothing but the (deterministic) seed. This module
+farms such a bag over a ``multiprocessing`` pool and merges results in
+submission order, so a parallel sweep is *bit-identical* to the serial
+one: ``pool.map`` preserves ordering, each worker runs with its own
+process-private caches, and all randomness is derived from the explicit
+seed, never from worker identity or scheduling.
+
+Tasks are ``(fn, args, kwargs)`` triples with ``fn`` a module-level
+function (workers import it by reference under the fork start method, and
+by qualified name under spawn). ``jobs<=1``, a single task, or an
+unavailable ``multiprocessing`` all degrade to a plain serial loop — the
+``--jobs`` flag can therefore be wired through unconditionally.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+__all__ = ["resolve_jobs", "run_tasks", "task"]
+
+
+def resolve_jobs(jobs=None):
+    """Normalize a ``--jobs`` value: None/0 consult ``REPRO_JOBS``, then 1.
+
+    An explicit negative value means "one worker per CPU".
+    """
+    if jobs is None or jobs == 0:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        jobs = int(env)
+    jobs = int(jobs)
+    if jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, jobs)
+
+
+def task(fn, *args, **kwargs):
+    """Package one unit of work for :func:`run_tasks`."""
+    return (fn, args, kwargs)
+
+
+def _call(packed):
+    fn, args, kwargs = packed
+    return fn(*args, **kwargs)
+
+
+def run_tasks(tasks, jobs=None):
+    """Run ``(fn, args, kwargs)`` triples; results in submission order.
+
+    With ``jobs`` (resolved per :func:`resolve_jobs`) greater than one and
+    more than one task, the tasks run on a process pool; otherwise serially
+    in-process. Worker exceptions propagate to the caller either way.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(*args, **kwargs) for fn, args, kwargs in tasks]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(_call, tasks)

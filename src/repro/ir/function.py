@@ -205,3 +205,18 @@ class Module:
 
     def __repr__(self):
         return f"<Module {self.name} ({len(self.functions)} functions)>"
+
+
+def structure_token(module):
+    """A cheap structural fingerprint of a module.
+
+    Identity-keyed caches (decoded programs, compiled programs) pair the
+    module object with this token so rebuilding a function or adding or
+    removing instructions invalidates stale entries. In-place operand
+    mutation is deliberately not captured: passes run on clones, and
+    hashing every operand would cost more than re-deriving the cache entry.
+    """
+    return tuple(
+        (fn.name, tuple((blk.name, len(blk.instructions)) for blk in fn.blocks))
+        for fn in module
+    )

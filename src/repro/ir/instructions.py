@@ -106,6 +106,14 @@ class Reg:
 
     name: str
 
+    def __post_init__(self):
+        # Register lookups hash a Reg several times per issue slot; cache
+        # the dataclass hash (same value, so set orders are unchanged).
+        object.__setattr__(self, "_hash", hash((self.name,)))
+
+    def __hash__(self):
+        return self._hash
+
     def __repr__(self):
         return f"%{self.name}"
 

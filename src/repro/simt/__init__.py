@@ -3,7 +3,15 @@
 from repro.simt.barrier_state import ALL_MEMBERS, BarrierFile, ConvergenceBarrier
 from repro.simt.costs import DEFAULT_COST_MODEL, CostModel
 from repro.simt.executor import Executor
-from repro.simt.machine import GPUMachine, LaunchResult
+from repro.simt.fastpath import (
+    DecodedInstruction,
+    DecodedProgram,
+    decode_program,
+    fastpath_disabled,
+    fastpath_enabled,
+    set_fastpath,
+)
+from repro.simt.machine import DEFAULT_MAX_ISSUES, GPUMachine, LaunchResult
 from repro.simt.memory import GlobalMemory
 from repro.simt.profiler import BlockProfile, Profiler
 from repro.simt.rng import XorShift32, mix_seed
@@ -26,6 +34,9 @@ __all__ = [
     "ConvergenceScheduler",
     "CostModel",
     "DEFAULT_COST_MODEL",
+    "DEFAULT_MAX_ISSUES",
+    "DecodedInstruction",
+    "DecodedProgram",
     "Executor",
     "Frame",
     "GPUMachine",
@@ -41,8 +52,12 @@ __all__ = [
     "WARP_SIZE",
     "Warp",
     "XorShift32",
+    "decode_program",
+    "fastpath_disabled",
+    "fastpath_enabled",
     "make_scheduler",
     "mix_seed",
+    "set_fastpath",
     "run_reference_launch",
     "run_reference_thread",
 ]

@@ -129,5 +129,9 @@ class BarrierFile:
     def barriers(self):
         return list(self._barriers.values())
 
+    def barriers_dict(self):
+        """The live name -> barrier mapping (read-only use)."""
+        return self._barriers
+
     def __contains__(self, name):
         return name in self._barriers

@@ -71,12 +71,27 @@ _UNARY_EVAL = {
     Opcode.ABS: abs,
 }
 
+#: Opcodes that move every thread of a group to the same next PC with no
+#: park/exit/barrier side effect. After issuing one of these to a fully
+#: converged warp, the warp is guaranteed still converged at a single PC,
+#: so the machine can carry the group over instead of regrouping (CBR can
+#: split, RET/EXIT can retire lanes, and the b* ops mutate barrier state).
+_UNIFORM_OPS = (
+    frozenset(_BINARY_EVAL)
+    | frozenset(_UNARY_EVAL)
+    | frozenset((
+        Opcode.CONST, Opcode.SEL, Opcode.FMA, Opcode.TID, Opcode.LANE,
+        Opcode.WARPID, Opcode.RAND, Opcode.LD, Opcode.ST, Opcode.ATOMADD,
+        Opcode.BRA, Opcode.CALL, Opcode.PREDICT, Opcode.NOP, Opcode.DELAY,
+    ))
+)
+
 
 class Executor:
     """Executes instructions for thread groups of one launch."""
 
     def __init__(self, module, memory, cost_model, profiler, sink=None,
-                 metrics=None):
+                 metrics=None, fastpath=None):
         self.module = module
         self.memory = memory
         self.cost_model = cost_model
@@ -87,6 +102,20 @@ class Executor:
         self.sink = sink if sink is not None else NULL_SINK
         self.metrics = metrics
         self.observing = bool(self.sink.enabled or metrics is not None)
+        # True when the last executed opcode was in _UNIFORM_OPS.
+        self.issued_uniform = False
+        # Pre-decoded dispatch table (repro.simt.fastpath). ``fastpath=None``
+        # defers to the global default; the decoded program is shared across
+        # executors of the same module + cost model. Imported here rather
+        # than at module level because fastpath builds on this module's
+        # eval tables.
+        from repro.simt import fastpath as _fastpath
+
+        if fastpath is None:
+            fastpath = _fastpath.FASTPATH_ENABLED
+        self._decoded = (
+            _fastpath.decode_program(module, cost_model) if fastpath else None
+        )
         # Program order for scheduler tie-breaking and fetches.
         self._block_pos = {
             fn.name: {block.name: pos for pos, block in enumerate(fn.blocks)}
@@ -129,7 +158,60 @@ class Executor:
     # ------------------------------------------------------------------
     def execute(self, warp, pc, group):
         """Execute the instruction at ``pc`` for ``group``; returns cycles."""
-        instr = self.fetch(pc)
+        decoded = self._decoded
+        if decoded is not None:
+            entry = decoded.entry(pc)
+            instr = entry.instr
+            opcode = entry.opcode
+            try:
+                cycles = entry.run(self, warp, group)
+            except KeyError as exc:
+                # Decoded handlers read registers with a bare dict lookup;
+                # memory and barriers never raise KeyError, so this can only
+                # be an undefined register (Frame.read's diagnostic).
+                reg = exc.args[0] if exc.args else None
+                raise SimulationError(
+                    f"read of undefined register %{getattr(reg, 'name', reg)} "
+                    f"in @{pc[0]}/{pc[1]}"
+                ) from None
+            # Lets the machine keep a converged warp's group across issues.
+            self.issued_uniform = entry.uniform
+            is_barrier_op = entry.is_barrier_op
+        else:
+            instr = self.fetch(pc)
+            opcode = instr.opcode
+            cycles = self._execute_slow(warp, instr, group)
+            self.issued_uniform = opcode in _UNIFORM_OPS
+            is_barrier_op = instr.is_barrier_op
+
+        for thread in group:
+            thread.retired += 1
+
+        if self.observing:
+            self._observe_issue(warp, pc, instr, group, cycles)
+        self.profiler.record(
+            warp.warp_id,
+            pc,
+            opcode,
+            active=len(group),
+            cycles=cycles,
+            is_barrier_op=is_barrier_op,
+            lanes=(
+                frozenset(t.lane for t in group)
+                if self.profiler.trace is not None
+                else None
+            ),
+        )
+        warp.cycles += cycles
+        return cycles
+
+    def _execute_slow(self, warp, instr, group):
+        """Interpreted execution of one instruction; returns its cycles.
+
+        This is the reference semantics: the fastpath closures in
+        :mod:`repro.simt.fastpath` are specializations of these branches and
+        must stay bit-identical (pinned by ``tests/test_conformance.py``).
+        """
         opcode = instr.opcode
         cycles = self.cost_model.latency(opcode)
 
@@ -298,25 +380,6 @@ class Executor:
         else:
             raise SimulationError(f"unhandled opcode {opcode.value}")
 
-        for thread in group:
-            thread.retired += 1
-
-        if self.observing:
-            self._observe_issue(warp, pc, instr, group, cycles)
-        self.profiler.record(
-            warp.warp_id,
-            pc,
-            opcode,
-            active=len(group),
-            cycles=cycles,
-            is_barrier_op=instr.is_barrier_op,
-            lanes=(
-                frozenset(t.lane for t in group)
-                if self.profiler.trace is not None
-                else None
-            ),
-        )
-        warp.cycles += cycles
         return cycles
 
     # ------------------------------------------------------------------

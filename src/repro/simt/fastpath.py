@@ -1,0 +1,739 @@
+"""Pre-decoded, table-driven kernel execution — the simulator fast path.
+
+:class:`~repro.simt.executor.Executor` normally dispatches every issued
+instruction through an ``Opcode``-comparison chain and resolves each operand
+with ``isinstance`` checks. That is robust but slow: the dispatch cost is
+paid once per issue slot, of which a single sweep point executes millions.
+
+This module flattens each basic block once into a dense tuple of
+:class:`DecodedInstruction` records. Decoding interns the operands (each
+closure captures the exact ``Reg``/``Imm``/``Barrier`` object it needs),
+pre-resolves branch targets and call entry points to plain strings and
+function objects, pre-binds the arithmetic eval function, and freezes the
+static issue latency from the cost model. The warp issue loop then becomes
+a table lookup plus one specialized closure call per issue — no opcode
+comparisons, no operand classification.
+
+Semantics are **bit-identical** to the slow path by construction: every
+closure body is a line-for-line specialization of the corresponding
+``Executor.execute`` branch, applying per-thread effects in the same lane
+order and charging the same cycle costs (``tests/test_conformance.py``
+pins this differentially over the Table 2 corpus).
+
+Decoded programs are cached per ``(module, cost model)`` so repeated
+launches of the same compiled module — threshold sweeps, scheduler
+ablations, golden-trace regeneration — decode once. The cache is keyed
+weakly by module identity and validated against a structural token
+(function/block names and instruction counts), so rebuilding a module or
+appending blocks invalidates stale entries. In-place mutation of an
+existing instruction's operands is *not* tracked; compiler passes always
+run on clones before launch, which is why this is safe.
+
+The fast path is on by default. ``REPRO_FASTPATH=0`` (or
+:func:`set_fastpath`/:func:`fastpath_disabled`) falls back to the
+interpreted path, which the conformance suite uses as its reference.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from contextlib import contextmanager
+
+from repro.errors import SimulationError
+from repro.ir.function import structure_token
+from repro.ir.instructions import Barrier, Imm, Opcode, Reg
+from repro.simt.barrier_state import ALL_MEMBERS
+from repro.simt.executor import (
+    _BINARY_EVAL,
+    _UNARY_EVAL,
+    _UNIFORM_OPS,
+    _WARPSYNC_BARRIER,
+)
+from repro.simt.warp import Frame
+
+__all__ = [
+    "DecodedInstruction",
+    "DecodedProgram",
+    "decode_program",
+    "fastpath_disabled",
+    "fastpath_enabled",
+    "set_fastpath",
+]
+
+#: Global default for new machines/executors. Flip with ``set_fastpath`` or
+#: the ``REPRO_FASTPATH`` environment variable (0/false/off disables).
+FASTPATH_ENABLED = os.environ.get("REPRO_FASTPATH", "1").lower() not in (
+    "0",
+    "false",
+    "off",
+)
+
+
+def fastpath_enabled():
+    """The current global fast-path default."""
+    return FASTPATH_ENABLED
+
+
+def set_fastpath(enabled):
+    """Set the global fast-path default; returns the previous value."""
+    global FASTPATH_ENABLED
+    previous = FASTPATH_ENABLED
+    FASTPATH_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def fastpath_disabled():
+    """Run a block with the interpreted (pre-decode-free) execution path."""
+    previous = set_fastpath(False)
+    try:
+        yield
+    finally:
+        set_fastpath(previous)
+
+
+# ---------------------------------------------------------------------------
+# Operand access: interned closures instead of per-issue isinstance checks
+# ---------------------------------------------------------------------------
+def _getter(operand):
+    """A ``thread -> value`` accessor mirroring ``Executor._value``."""
+    if isinstance(operand, Imm):
+        value = operand.value
+        return lambda thread: value
+    if isinstance(operand, Reg):
+        def read(thread, _name=operand.name):
+            return thread.frames[-1].regs[_name]
+
+        return read
+    if isinstance(operand, Barrier):
+        name = operand.name
+        return lambda thread: name
+    raise SimulationError(f"cannot evaluate operand {operand!r}")
+
+
+def _barrier_getter(operand):
+    """A ``thread -> barrier name`` accessor (literal or barrier register)."""
+    if isinstance(operand, Barrier):
+        name = operand.name
+        return lambda thread: name
+    get = _getter(operand)
+
+    def resolve(thread):
+        name = get(thread)
+        if not isinstance(name, str):
+            raise SimulationError(
+                f"barrier register holds non-barrier value {name!r}"
+            )
+        return name
+
+    return resolve
+
+
+class DecodedInstruction:
+    """One pre-decoded instruction: the original record plus its handler.
+
+    ``run(executor, warp, group)`` applies the instruction to every thread
+    of ``group`` (in lane order) and returns the cycle cost of the issue.
+    """
+
+    __slots__ = ("instr", "opcode", "latency", "run", "uniform",
+                 "is_barrier_op")
+
+    def __init__(self, instr, latency, run):
+        self.instr = instr
+        self.opcode = instr.opcode
+        self.latency = latency
+        self.run = run
+        # Per-issue flags the executor would otherwise recompute with enum
+        # set lookups / a property call on every slot.
+        self.uniform = instr.opcode in _UNIFORM_OPS
+        self.is_barrier_op = instr.is_barrier_op
+
+
+# ---------------------------------------------------------------------------
+# Per-opcode specializations
+# ---------------------------------------------------------------------------
+def _decode_binary(instr, latency):
+    fn = _BINARY_EVAL[instr.opcode]
+    dst = instr.dst.name
+    a, b = instr.operands
+    if isinstance(a, Reg) and isinstance(b, Reg):
+        an, bn = a.name, b.name
+
+        def run(executor, warp, group):
+            for thread in group:
+                frame = thread.frames[-1]
+                regs = frame.regs
+                regs[dst] = fn(regs[an], regs[bn])
+                frame.index += 1
+            return latency
+
+    elif isinstance(a, Reg) and isinstance(b, Imm):
+        an, bv = a.name, b.value
+
+        def run(executor, warp, group):
+            for thread in group:
+                frame = thread.frames[-1]
+                regs = frame.regs
+                regs[dst] = fn(regs[an], bv)
+                frame.index += 1
+            return latency
+
+    elif isinstance(a, Imm) and isinstance(b, Reg):
+        av, bn = a.value, b.name
+
+        def run(executor, warp, group):
+            for thread in group:
+                frame = thread.frames[-1]
+                regs = frame.regs
+                regs[dst] = fn(av, regs[bn])
+                frame.index += 1
+            return latency
+
+    else:
+        get_a, get_b = _getter(a), _getter(b)
+
+        def run(executor, warp, group):
+            for thread in group:
+                frame = thread.frames[-1]
+                frame.regs[dst] = fn(get_a(thread), get_b(thread))
+                frame.index += 1
+            return latency
+
+    return run
+
+
+def _decode_unary(instr, latency):
+    fn = _UNARY_EVAL[instr.opcode]
+    dst = instr.dst.name
+    operand = instr.operands[0]
+    if isinstance(operand, Reg):
+        src = operand.name
+
+        def run(executor, warp, group):
+            for thread in group:
+                frame = thread.frames[-1]
+                regs = frame.regs
+                regs[dst] = fn(regs[src])
+                frame.index += 1
+            return latency
+
+    else:
+        get = _getter(operand)
+
+        def run(executor, warp, group):
+            for thread in group:
+                frame = thread.frames[-1]
+                frame.regs[dst] = fn(get(thread))
+                frame.index += 1
+            return latency
+
+    return run
+
+
+def _decode_const(instr, latency):
+    dst = instr.dst.name
+    value = instr.operands[0].value
+
+    def run(executor, warp, group):
+        for thread in group:
+            frame = thread.frames[-1]
+            frame.regs[dst] = value
+            frame.index += 1
+        return latency
+
+    return run
+
+
+def _decode_sel(instr, latency):
+    dst = instr.dst.name
+    get_pred = _getter(instr.operands[0])
+    get_true = _getter(instr.operands[1])
+    get_false = _getter(instr.operands[2])
+
+    def run(executor, warp, group):
+        for thread in group:
+            picked = (
+                get_true(thread)
+                if get_pred(thread) != 0
+                else get_false(thread)
+            )
+            frame = thread.frames[-1]
+            frame.regs[dst] = picked
+            frame.index += 1
+        return latency
+
+    return run
+
+
+def _decode_fma(instr, latency):
+    dst = instr.dst.name
+    a, b, c = instr.operands
+    if isinstance(a, Reg) and isinstance(b, Imm) and isinstance(c, Imm):
+        # The dominant shape in the Table 2 kernels: acc = fma(acc, k1, k2).
+        an, bv, cv = a.name, b.value, c.value
+
+        def run(executor, warp, group):
+            for thread in group:
+                frame = thread.frames[-1]
+                regs = frame.regs
+                regs[dst] = regs[an] * bv + cv
+                frame.index += 1
+            return latency
+
+    elif isinstance(a, Reg) and isinstance(b, Reg) and isinstance(c, Reg):
+        an, bn, cn = a.name, b.name, c.name
+
+        def run(executor, warp, group):
+            for thread in group:
+                frame = thread.frames[-1]
+                regs = frame.regs
+                regs[dst] = regs[an] * regs[bn] + regs[cn]
+                frame.index += 1
+            return latency
+
+    else:
+        get_a, get_b, get_c = _getter(a), _getter(b), _getter(c)
+
+        def run(executor, warp, group):
+            for thread in group:
+                frame = thread.frames[-1]
+                frame.regs[dst] = (
+                    get_a(thread) * get_b(thread) + get_c(thread)
+                )
+                frame.index += 1
+            return latency
+
+    return run
+
+
+def _decode_identity(instr, latency, attr):
+    dst = instr.dst.name
+
+    def run(executor, warp, group):
+        for thread in group:
+            frame = thread.frames[-1]
+            frame.regs[dst] = getattr(thread, attr)
+            frame.index += 1
+        return latency
+
+    return run
+
+
+def _decode_rand(instr, latency):
+    dst = instr.dst.name
+
+    def run(executor, warp, group):
+        for thread in group:
+            frame = thread.frames[-1]
+            frame.regs[dst] = thread.rng.uniform()
+            frame.index += 1
+        return latency
+
+    return run
+
+
+def _decode_ld(instr, cost_model):
+    dst = instr.dst.name
+    get_addr = _getter(instr.operands[0])
+    memory_cost = cost_model.memory_cost
+
+    def run(executor, warp, group):
+        load = executor.memory.load
+        addresses = []
+        append = addresses.append
+        for thread in group:
+            addr = get_addr(thread)
+            append(addr)
+            frame = thread.frames[-1]
+            frame.regs[dst] = load(addr)
+            frame.index += 1
+        return memory_cost(Opcode.LD, addresses)
+
+    return run
+
+
+def _decode_st(instr, cost_model):
+    get_addr = _getter(instr.operands[0])
+    get_value = _getter(instr.operands[1])
+    memory_cost = cost_model.memory_cost
+
+    def run(executor, warp, group):
+        store = executor.memory.store
+        addresses = []
+        append = addresses.append
+        for thread in group:
+            addr = get_addr(thread)
+            value = get_value(thread)
+            append(addr)
+            store(addr, value)
+            thread.store_trace.append((int(addr), value))
+            thread.frames[-1].index += 1
+        return memory_cost(Opcode.ST, addresses)
+
+    return run
+
+
+def _decode_atomadd(instr, cost_model):
+    dst = instr.dst.name
+    get_addr = _getter(instr.operands[0])
+    get_value = _getter(instr.operands[1])
+    memory_cost = cost_model.memory_cost
+
+    def run(executor, warp, group):
+        atom_add = executor.memory.atom_add
+        addresses = []
+        append = addresses.append
+        for thread in group:
+            addr = get_addr(thread)
+            value = get_value(thread)
+            append(addr)
+            frame = thread.frames[-1]
+            frame.regs[dst] = atom_add(addr, value)
+            frame.index += 1
+        return memory_cost(Opcode.ATOMADD, addresses)
+
+    return run
+
+
+def _decode_bra(instr, latency):
+    target = instr.operands[0].name
+
+    def run(executor, warp, group):
+        for thread in group:
+            frame = thread.frames[-1]
+            frame.block_name = target
+            frame.index = 0
+        return latency
+
+    return run
+
+
+def _decode_cbr(instr, latency):
+    get_pred = _getter(instr.operands[0])
+    true_target = instr.operands[1].name
+    false_target = instr.operands[2].name
+
+    def run(executor, warp, group):
+        for thread in group:
+            frame = thread.frames[-1]
+            frame.block_name = (
+                true_target if get_pred(thread) != 0 else false_target
+            )
+            frame.index = 0
+        return latency
+
+    return run
+
+
+def _decode_call(instr, latency, module):
+    callee = module.function(instr.operands[0].name)
+    entry_name = callee.entry.name
+    params = [p.name for p in callee.params]
+    getters = [_getter(arg) for arg in instr.operands[1:]]
+    # ret_dst stays a Reg: Frame linkage writes it back via Frame.write.
+    ret_dst = instr.dst
+
+    def run(executor, warp, group):
+        for thread in group:
+            values = [get(thread) for get in getters]
+            frame = Frame(callee, entry_name, ret_dst=ret_dst)
+            thread.frames.append(frame)
+            regs = frame.regs
+            for param, value in zip(params, values):
+                regs[param] = value
+        return latency
+
+    return run
+
+
+def _decode_ret(instr, latency):
+    get_value = _getter(instr.operands[0]) if instr.operands else None
+
+    def run(executor, warp, group):
+        for thread in group:
+            value = get_value(thread) if get_value is not None else None
+            if thread.pop_frame(value):
+                warp.barriers.withdraw_from_all(thread.lane)
+        return latency
+
+    return run
+
+
+def _decode_exit(instr, latency):
+    def run(executor, warp, group):
+        for thread in group:
+            thread.exit()
+            warp.barriers.withdraw_from_all(thread.lane)
+        return latency
+
+    return run
+
+
+def _decode_bssy(instr, latency):
+    get_name = _barrier_getter(instr.operands[0])
+
+    def run(executor, warp, group):
+        barriers = warp.barriers
+        for thread in group:
+            barriers.get(get_name(thread)).join(thread.lane)
+            thread.frames[-1].index += 1
+        return latency
+
+    return run
+
+
+def _decode_bsync(instr, latency):
+    get_name = _barrier_getter(instr.operands[0])
+
+    def run(executor, warp, group):
+        barriers = warp.barriers
+        for thread in group:
+            name = get_name(thread)
+            thread.frames[-1].index += 1  # resume past the wait when released
+            if barriers.get(name).park(thread.lane, ALL_MEMBERS):
+                thread.park(name)
+            # Not a member: hardware pass-through.
+        return latency
+
+    return run
+
+
+def _decode_bsyncsoft(instr, latency):
+    get_name = _barrier_getter(instr.operands[0])
+    get_threshold = _getter(instr.operands[1])
+
+    def run(executor, warp, group):
+        barriers = warp.barriers
+        for thread in group:
+            name = get_name(thread)
+            threshold = int(get_threshold(thread))
+            thread.frames[-1].index += 1
+            if threshold <= 1:
+                # Trivial threshold: never worth parking.
+                continue
+            if barriers.get(name).park(thread.lane, threshold):
+                thread.park(name)
+        return latency
+
+    return run
+
+
+def _decode_bbreak(instr, latency):
+    get_name = _barrier_getter(instr.operands[0])
+
+    def run(executor, warp, group):
+        barriers = warp.barriers
+        for thread in group:
+            barriers.get(get_name(thread)).withdraw(thread.lane)
+            thread.frames[-1].index += 1
+        return latency
+
+    return run
+
+
+def _decode_bmov(instr, latency):
+    dst = instr.dst.name
+    get_name = _barrier_getter(instr.operands[0])
+
+    def run(executor, warp, group):
+        for thread in group:
+            frame = thread.frames[-1]
+            frame.regs[dst] = get_name(thread)
+            frame.index += 1
+        return latency
+
+    return run
+
+
+def _decode_barcnt(instr, latency):
+    dst = instr.dst.name
+    get_name = _barrier_getter(instr.operands[0])
+
+    def run(executor, warp, group):
+        barriers = warp.barriers
+        for thread in group:
+            frame = thread.frames[-1]
+            frame.regs[dst] = barriers.get(get_name(thread)).arrived_count
+            frame.index += 1
+        return latency
+
+    return run
+
+
+def _decode_warpsync(instr, latency):
+    def run(executor, warp, group):
+        barrier = warp.barriers.get(_WARPSYNC_BARRIER)
+        # Every live thread participates in a full-warp sync.
+        for live in warp.live_threads():
+            barrier.join(live.lane)
+        for thread in group:
+            thread.frames[-1].index += 1
+            if barrier.park(thread.lane, ALL_MEMBERS):
+                thread.park(_WARPSYNC_BARRIER)
+        return latency
+
+    return run
+
+
+def _decode_advance(instr, latency):
+    def run(executor, warp, group):
+        for thread in group:
+            thread.frames[-1].index += 1
+        return latency
+
+    return run
+
+
+def _decode_delay(instr):
+    cycles = int(instr.operands[0].value)
+
+    def run(executor, warp, group):
+        for thread in group:
+            thread.frames[-1].index += 1
+        return cycles
+
+    return run
+
+
+def _decode_unhandled(instr):
+    opcode = instr.opcode
+
+    def run(executor, warp, group):
+        raise SimulationError(f"unhandled opcode {opcode.value}")
+
+    return run
+
+
+def _decode_instruction(instr, cost_model, module):
+    """Build the specialized handler for one instruction."""
+    opcode = instr.opcode
+    latency = cost_model.latency(opcode)
+    if opcode in _BINARY_EVAL:
+        run = _decode_binary(instr, latency)
+    elif opcode in _UNARY_EVAL:
+        run = _decode_unary(instr, latency)
+    elif opcode is Opcode.CONST:
+        run = _decode_const(instr, latency)
+    elif opcode is Opcode.SEL:
+        run = _decode_sel(instr, latency)
+    elif opcode is Opcode.FMA:
+        run = _decode_fma(instr, latency)
+    elif opcode is Opcode.TID:
+        run = _decode_identity(instr, latency, "tid")
+    elif opcode is Opcode.LANE:
+        run = _decode_identity(instr, latency, "lane")
+    elif opcode is Opcode.WARPID:
+        run = _decode_identity(instr, latency, "warp_id")
+    elif opcode is Opcode.RAND:
+        run = _decode_rand(instr, latency)
+    elif opcode is Opcode.LD:
+        run = _decode_ld(instr, cost_model)
+    elif opcode is Opcode.ST:
+        run = _decode_st(instr, cost_model)
+    elif opcode is Opcode.ATOMADD:
+        run = _decode_atomadd(instr, cost_model)
+    elif opcode is Opcode.BRA:
+        run = _decode_bra(instr, latency)
+    elif opcode is Opcode.CBR:
+        run = _decode_cbr(instr, latency)
+    elif opcode is Opcode.CALL:
+        run = _decode_call(instr, latency, module)
+    elif opcode is Opcode.RET:
+        run = _decode_ret(instr, latency)
+    elif opcode is Opcode.EXIT:
+        run = _decode_exit(instr, latency)
+    elif opcode is Opcode.BSSY:
+        run = _decode_bssy(instr, latency)
+    elif opcode is Opcode.BSYNC:
+        run = _decode_bsync(instr, latency)
+    elif opcode is Opcode.BSYNCSOFT:
+        run = _decode_bsyncsoft(instr, latency)
+    elif opcode is Opcode.BBREAK:
+        run = _decode_bbreak(instr, latency)
+    elif opcode is Opcode.BMOV:
+        run = _decode_bmov(instr, latency)
+    elif opcode is Opcode.BARCNT:
+        run = _decode_barcnt(instr, latency)
+    elif opcode is Opcode.WARPSYNC:
+        run = _decode_warpsync(instr, latency)
+    elif opcode in (Opcode.NOP, Opcode.PREDICT):
+        run = _decode_advance(instr, latency)
+    elif opcode is Opcode.DELAY:
+        run = _decode_delay(instr)
+    else:
+        run = _decode_unhandled(instr)
+    return DecodedInstruction(instr, latency, run)
+
+
+# ---------------------------------------------------------------------------
+# Program-level decode with lazy per-block flattening
+# ---------------------------------------------------------------------------
+class DecodedProgram:
+    """All decoded blocks of one module under one cost model.
+
+    Blocks decode lazily on first execution, so modules with unexecuted
+    functions pay nothing for them. ``entry(pc)`` is the per-issue lookup.
+    """
+
+    def __init__(self, module, cost_model):
+        self.module = module
+        self.cost_model = cost_model
+        self.token = structure_token(module)
+        self._blocks = {}  # (function name, block name) -> tuple of decoded
+
+    def entry(self, pc):
+        """The :class:`DecodedInstruction` at ``pc``."""
+        function, block, index = pc
+        entries = self._blocks.get((function, block))
+        if entries is None:
+            entries = self._decode_block(function, block)
+        if index >= len(entries):
+            raise SimulationError(
+                f"PC past end of block @{function}/{block}:{index} "
+                "(missing terminator?)"
+            )
+        return entries[index]
+
+    def _decode_block(self, function, block):
+        instructions = self.module.function(function).block(block).instructions
+        entries = tuple(
+            _decode_instruction(instr, self.cost_model, self.module)
+            for instr in instructions
+        )
+        self._blocks[(function, block)] = entries
+        return entries
+
+
+def _cost_key(cost_model):
+    return (
+        tuple(sorted((op.value, lat) for op, lat in cost_model.latencies.items())),
+        cost_model.segment_words,
+        cost_model.load_segment_cost,
+        cost_model.store_segment_cost,
+    )
+
+
+#: module -> {cost key: DecodedProgram}; weak so dead modules free decodes.
+_DECODE_CACHE = weakref.WeakKeyDictionary()
+
+
+def decode_program(module, cost_model):
+    """The (cached) :class:`DecodedProgram` for ``module``/``cost_model``."""
+    try:
+        per_module = _DECODE_CACHE.setdefault(module, {})
+    except TypeError:
+        # Module not weak-referenceable: decode without caching.
+        return DecodedProgram(module, cost_model)
+    key = _cost_key(cost_model)
+    program = per_module.get(key)
+    if program is None or program.token != structure_token(module):
+        program = DecodedProgram(module, cost_model)
+        per_module[key] = program
+    return program
+
+
+def clear_decode_cache():
+    """Drop every cached decode (tests and long-lived servers)."""
+    _DECODE_CACHE.clear()

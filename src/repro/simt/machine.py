@@ -9,9 +9,10 @@ traces used by correctness tests.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 
-from repro.errors import DeadlockError, LaunchError, SimulationError
+from repro.errors import DeadlockError, LaunchError
 from repro.obs.metrics import LaunchMetrics
 from repro.simt.costs import DEFAULT_COST_MODEL
 from repro.simt.executor import Executor
@@ -19,6 +20,13 @@ from repro.simt.memory import GlobalMemory
 from repro.simt.profiler import Profiler
 from repro.simt.scheduler import make_scheduler
 from repro.simt.warp import WARP_SIZE, Thread, Warp
+
+#: Issue-slot budget shared by every execution engine (GPU, stack,
+#: single-thread reference) so runaway-loop detection behaves the same
+#: no matter which path runs a kernel.
+DEFAULT_MAX_ISSUES = 20_000_000
+
+_by_lane = operator.attrgetter("lane")
 
 
 @dataclass
@@ -61,16 +69,19 @@ class GPUMachine:
         cost_model=None,
         scheduler="convergence",
         seed=2020,
-        max_issues=20_000_000,
+        max_issues=DEFAULT_MAX_ISSUES,
         trace=False,
         sink=None,
         metrics=False,
+        fastpath=None,
     ):
         self.module = module
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.scheduler_name = scheduler
         self.seed = seed
         self.max_issues = max_issues
+        # None defers to the global repro.simt.fastpath default.
+        self.fastpath = fastpath
         # Observability, all off by default (the fast path stays
         # allocation-free): ``trace`` records cycle-stamped IssueEvents for
         # timeline rendering, ``sink`` streams every event kind to a
@@ -96,7 +107,7 @@ class GPUMachine:
         profiler.metrics = metrics
         executor = Executor(
             self.module, memory, self.cost_model, profiler,
-            sink=self.sink, metrics=metrics,
+            sink=self.sink, metrics=metrics, fastpath=self.fastpath,
         )
         scheduler = make_scheduler(self.scheduler_name)
 
@@ -119,7 +130,7 @@ class GPUMachine:
                 if self._step(warp, executor, scheduler):
                     issues += 1
                     if issues > self.max_issues:
-                        raise SimulationError(
+                        raise LaunchError(
                             f"@{kernel_name} exceeded {self.max_issues} issue "
                             "slots; likely an infinite loop"
                         )
@@ -145,7 +156,12 @@ class GPUMachine:
                     warp, barrier, lanes
                 )
             )
-        groups = warp.groups()
+        # After a uniform op only the issued bucket moved, so the previous
+        # grouping was patched in place — reuse it instead of regrouping.
+        groups = warp.groups_cache
+        warp.groups_cache = None
+        if groups is None:
+            groups = warp.groups()
         if not groups:
             warp.drain_releasable(on_release)
             groups = warp.groups()
@@ -164,6 +180,25 @@ class GPUMachine:
                 waiting=waiting,
             )
         pc = scheduler.pick(groups, executor.program_order)
-        executor.execute(warp, pc, groups[pc])
-        warp.drain_releasable(on_release)
+        group = groups[pc]
+        executor.execute(warp, pc, group)
+        released = warp.drain_releasable(on_release)
+        if released == 0 and executor.issued_uniform:
+            # A uniform op moved every thread of ``group`` to one new PC and
+            # could not park, exit, or release anything, so the other groups
+            # are exactly as they were: patch the dict instead of rescanning
+            # the warp. (Schedulers order by injective PC keys, so dict
+            # insertion order cannot influence the pick.)
+            del groups[pc]
+            frame = group[0].frames[-1]
+            new_pc = (frame.fname, frame.block_name, frame.index)
+            resident = groups.get(new_pc)
+            if resident is None:
+                groups[new_pc] = group
+            else:
+                # Landed on an already-populated PC: buckets stay in lane
+                # order, as Warp.groups() would have produced.
+                resident.extend(group)
+                resident.sort(key=_by_lane)
+            warp.groups_cache = groups
         return True

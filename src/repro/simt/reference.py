@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.errors import LaunchError
 from repro.simt.costs import DEFAULT_COST_MODEL
 from repro.simt.executor import Executor
-from repro.simt.machine import GPUMachine
+from repro.simt.machine import DEFAULT_MAX_ISSUES, GPUMachine
 from repro.simt.memory import GlobalMemory
 from repro.simt.profiler import Profiler
 from repro.simt.warp import WARP_SIZE, Thread, Warp
@@ -25,7 +25,7 @@ from repro.simt.warp import WARP_SIZE, Thread, Warp
 
 def run_reference_thread(
     module, kernel_name, tid, n_threads, args=(), memory=None, seed=2020,
-    max_issues=5_000_000,
+    max_issues=DEFAULT_MAX_ISSUES, fastpath=None,
 ):
     """Execute thread ``tid`` of a launch in isolation.
 
@@ -40,7 +40,9 @@ def run_reference_thread(
         raise LaunchError(f"tid {tid} outside launch of {n_threads}")
     memory = memory if memory is not None else GlobalMemory()
     profiler = Profiler()
-    executor = Executor(module, memory, DEFAULT_COST_MODEL, profiler)
+    executor = Executor(
+        module, memory, DEFAULT_COST_MODEL, profiler, fastpath=fastpath
+    )
     warp_id = tid // WARP_SIZE
     thread = Thread(tid, tid % WARP_SIZE, warp_id, kernel, args, seed)
     # A warp containing just this thread; barrier releases are handled
@@ -72,18 +74,22 @@ def run_reference_thread(
         executor.execute(warp, pc, [thread])
         issues += 1
         if issues > max_issues:
-            raise LaunchError("reference thread exceeded issue budget")
+            raise LaunchError(
+                f"reference thread {tid} exceeded {max_issues} issue slots; "
+                "likely an infinite loop"
+            )
     return thread
 
 
-def run_reference_launch(module, kernel_name, n_threads, args=(), seed=2020):
+def run_reference_launch(module, kernel_name, n_threads, args=(), seed=2020,
+                         fastpath=None):
     """Reference store traces for every thread, each run in isolation on a
     private copy of the initial memory."""
     traces = {}
     for tid in range(n_threads):
         thread = run_reference_thread(
             module, kernel_name, tid, n_threads, args=args,
-            memory=GlobalMemory(), seed=seed,
+            memory=GlobalMemory(), seed=seed, fastpath=fastpath,
         )
         traces[tid] = list(thread.store_trace)
     return traces

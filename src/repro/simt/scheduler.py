@@ -35,6 +35,10 @@ class ConvergenceScheduler(SchedulerBase):
     name = "convergence"
 
     def pick(self, groups, program_order):
+        if len(groups) == 1:
+            # Fully converged warp (the common case): min of a singleton.
+            return next(iter(groups))
+
         def key(pc):
             threads = groups[pc]
             return (-len(threads), program_order(pc), threads[0].lane)
@@ -48,6 +52,8 @@ class OldestFirstScheduler(SchedulerBase):
     name = "oldest-first"
 
     def pick(self, groups, program_order):
+        if len(groups) == 1:
+            return next(iter(groups))
         return min(groups, key=lambda pc: (program_order(pc), -len(groups[pc])))
 
 

@@ -27,7 +27,7 @@ from repro.obs.events import ReconvergeEvent
 from repro.obs.metrics import LaunchMetrics
 from repro.simt.costs import DEFAULT_COST_MODEL
 from repro.simt.executor import Executor
-from repro.simt.machine import LaunchResult
+from repro.simt.machine import DEFAULT_MAX_ISSUES, LaunchResult
 from repro.simt.memory import GlobalMemory
 from repro.simt.profiler import Profiler
 from repro.simt.warp import WARP_SIZE, Thread, Warp
@@ -70,8 +70,9 @@ class _ReconvergenceTable:
 class StackGPUMachine:
     """Executes kernels with stack-based (pre-Volta) reconvergence."""
 
-    def __init__(self, module, cost_model=None, seed=2020, max_issues=20_000_000,
-                 trace=False, sink=None, metrics=False):
+    def __init__(self, module, cost_model=None, seed=2020,
+                 max_issues=DEFAULT_MAX_ISSUES, trace=False, sink=None,
+                 metrics=False, fastpath=None):
         self.module = module
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.seed = seed
@@ -79,6 +80,8 @@ class StackGPUMachine:
         self.trace = trace
         self.sink = sink
         self.metrics = metrics
+        # None defers to the global repro.simt.fastpath default.
+        self.fastpath = fastpath
         self._rpcs = _ReconvergenceTable(module)
 
     def launch(self, kernel_name, n_threads, args=(), memory=None):
@@ -97,7 +100,7 @@ class StackGPUMachine:
         profiler.metrics = metrics
         executor = Executor(
             self.module, memory, self.cost_model, profiler,
-            sink=self.sink, metrics=metrics,
+            sink=self.sink, metrics=metrics, fastpath=self.fastpath,
         )
 
         all_threads = []
@@ -112,7 +115,10 @@ class StackGPUMachine:
             all_threads.extend(threads)
             issues += self._run_warp(warp, executor)
             if issues > self.max_issues:
-                raise SimulationError("exceeded issue budget; infinite loop?")
+                raise LaunchError(
+                    f"@{kernel_name} exceeded {self.max_issues} issue "
+                    "slots; likely an infinite loop"
+                )
 
         return LaunchResult(
             kernel=kernel_name,
@@ -209,5 +215,8 @@ class StackGPUMachine:
             issues += 1
             executor.execute(warp, pc, group)
             if issues > self.max_issues:
-                raise SimulationError("warp exceeded issue budget")
+                raise LaunchError(
+                    f"warp {warp.warp_id} exceeded {self.max_issues} issue "
+                    "slots; likely an infinite loop"
+                )
         return issues

@@ -27,10 +27,11 @@ class ThreadState(enum.Enum):
 class Frame:
     """One activation record: function, PC, registers, return linkage."""
 
-    __slots__ = ("function", "block_name", "index", "regs", "ret_dst")
+    __slots__ = ("function", "fname", "block_name", "index", "regs", "ret_dst")
 
     def __init__(self, function, block_name, index=0, ret_dst=None):
         self.function = function
+        self.fname = function.name  # cached: read once per issue per lane
         self.block_name = block_name
         self.index = index
         self.regs = {}
@@ -39,9 +40,12 @@ class Frame:
     def pc(self):
         return (self.function.name, self.block_name, self.index)
 
+    # ``regs`` is keyed by register *name* rather than Reg: a Reg is a
+    # single-field name wrapper (equality and hash are the name's), so the
+    # mapping is identical, but string keys hash in C on every lookup.
     def read(self, reg):
         try:
-            return self.regs[reg]
+            return self.regs[reg.name]
         except KeyError:
             raise SimulationError(
                 f"read of undefined register %{reg.name} "
@@ -49,7 +53,7 @@ class Frame:
             ) from None
 
     def write(self, reg, value):
-        self.regs[reg] = value
+        self.regs[reg.name] = value
 
 
 class Thread:
@@ -136,6 +140,9 @@ class Warp:
         self.barriers = BarrierFile()
         self.cycles = 0
         self.done = False
+        # Machine-managed carry-over of groups() when the warp is known to
+        # still be converged at one PC (see GPUMachine._step).
+        self.groups_cache = None
 
     def lane(self, lane_id):
         return self.threads[lane_id]
@@ -148,10 +155,19 @@ class Warp:
 
     def groups(self):
         """Runnable threads grouped by PC, as {pc: [threads by lane]}."""
+        # Hot path: runs once per issue slot over every thread, so the PC
+        # tuple is built inline rather than through Thread.pc()/Frame.pc().
         groups = {}
+        runnable = ThreadState.RUNNABLE
         for thread in self.threads:
-            if thread.is_runnable:
-                groups.setdefault(thread.pc(), []).append(thread)
+            if thread.state is runnable:
+                frame = thread.frames[-1]
+                pc = (frame.fname, frame.block_name, frame.index)
+                bucket = groups.get(pc)
+                if bucket is None:
+                    groups[pc] = [thread]
+                else:
+                    bucket.append(thread)
         return groups
 
     def release(self, barrier, lanes):
@@ -172,6 +188,13 @@ class Warp:
         ``on_release(barrier, lanes)`` is an optional observability hook
         invoked after each release (None on the fast path).
         """
+        # Fast-out: no barrier has a parked lane (the common case between
+        # divergent regions), so nothing can be releasable.
+        for barrier in self.barriers.barriers_dict().values():
+            if barrier.parked:
+                break
+        else:
+            return 0
         released = 0
         progress = True
         while progress:

@@ -15,13 +15,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.pipeline import ReconvergenceCompiler
+from repro.core.program_cache import compile_cached
 from repro.errors import WorkloadError
 from repro.frontend.parser import compile_kernel_source
 from repro.simt.machine import GPUMachine
 from repro.simt.memory import GlobalMemory
 
 REGISTRY = {}
+
+#: (class, workload name, params) -> lowered module, shared across workload
+#: instances. ``get_workload`` builds a fresh instance per call, so without
+#: this every sweep point re-parses and re-lowers an identical kernel. Safe
+#: because the compiler clones its input and the machines never mutate a
+#: module.
+_MODULE_CACHE = {}
 
 
 def register(cls):
@@ -130,11 +137,22 @@ class Workload:
     # Compilation and execution
     # ------------------------------------------------------------------
     def module(self):
-        """The lowered (uncompiled) IR module, cached per instance."""
+        """The lowered (uncompiled) IR module, shared across instances with
+        identical parameters (the source text depends only on them)."""
         if self._module is None:
-            self._module = compile_kernel_source(
-                self.source(), module_name=self.name
-            )
+            try:
+                key = (type(self), self.name, tuple(sorted(self.params.items())))
+                cached = _MODULE_CACHE.get(key)
+            except TypeError:
+                key = None
+                cached = None
+            if cached is None:
+                cached = compile_kernel_source(
+                    self.source(), module_name=self.name
+                )
+                if key is not None:
+                    _MODULE_CACHE[key] = cached
+            self._module = cached
         return self._module
 
     def compile(self, mode="sr", threshold="default", **compiler_options):
@@ -145,8 +163,9 @@ class Workload:
         """
         if threshold == "default":
             threshold = self.sr_threshold
-        compiler = ReconvergenceCompiler(**compiler_options)
-        return compiler.compile(self.module(), mode=mode, threshold=threshold)
+        return compile_cached(
+            self.module(), mode=mode, threshold=threshold, **compiler_options
+        )
 
     def run(
         self,
@@ -171,12 +190,12 @@ class Workload:
         if threshold == "default":
             threshold = self.sr_threshold
         if compiled is None:
-            compiler = ReconvergenceCompiler(**compiler_options)
-            compiled = compiler.compile(
+            compiled = compile_cached(
                 self.module(),
                 mode=mode,
                 threshold=threshold,
                 auto_options=auto_options,
+                **compiler_options,
             )
         memory = GlobalMemory()
         args = self.setup(memory)

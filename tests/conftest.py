@@ -1,0 +1,23 @@
+"""Shared pytest configuration.
+
+``--update-goldens`` regenerates the golden-trace corpus under
+``tests/goldens/`` instead of comparing against it (see
+``tests/test_goldens.py``).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current simulator "
+             "output instead of asserting against it",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    return request.config.getoption("--update-goldens")

@@ -1,0 +1,236 @@
+"""Cross-machine conformance net for the fast-path simulation engine.
+
+The differential matrix pins *bit-identical* per-thread store traces and
+profiler counters across:
+
+* ``GPUMachine`` with the pre-decoded fast path on vs off,
+* ``StackGPUMachine`` (pre-Volta) fast path on vs off,
+* all three schedulers,
+* ``compile_baseline`` vs ``compile_sr``,
+* observability (metrics) on vs off — the PR-1 invariant,
+
+over a scaled-down Table 2 corpus and the hypothesis ``random_kernel``
+fuzzer. The interpreted (fastpath-off) executor is the reference
+semantics; any drift in a decoded handler fails here first.
+
+The max-issues runaway-loop cap is also pinned here: every execution
+engine shares ``DEFAULT_MAX_ISSUES`` and raises :class:`LaunchError` on
+overrun.
+"""
+
+import inspect
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import compile_baseline, compile_sr
+from repro.errors import LaunchError
+from repro.frontend import compile_kernel_source
+from repro.frontend.lower import lower_program
+from repro.simt import (
+    DEFAULT_MAX_ISSUES,
+    GPUMachine,
+    GlobalMemory,
+    SCHEDULERS,
+    StackGPUMachine,
+)
+from repro.simt.reference import run_reference_thread
+from repro.workloads import get_workload
+from tests.test_properties import random_kernel
+
+#: Table 2 workloads with sizes scaled down so the full matrix stays fast.
+#: Every workload keeps its divergence pattern; only trip counts shrink.
+CORPUS = {
+    "rsbench": {"n_tasks": 64, "inner_fma": 3},
+    "xsbench": {"n_tasks": 64, "grid_levels": 6, "table_size": 256,
+                "trip_hi": 20},
+    "mcb": {"steps": 8, "collision_cost": 16},
+    "pathtracer": {"samples_per_thread": 2, "max_bounces": 8,
+                   "shade_cost": 8},
+    "mc-gpu": {"photons_per_thread": 2, "max_steps": 10, "step_cost": 4},
+    "mummer": {"queries_per_thread": 3, "match_hi": 10, "extend_cost": 3},
+    "meiyamd5": {"candidates_per_thread": 2, "len_hi": 16, "round_cost": 8},
+    "optix": {"steps": 10, "intersect_cost": 12},
+    "gpu-mcml": {"photons_per_thread": 2, "max_steps": 16, "spin_cost": 4},
+    "funccall": {"iterations": 6, "shade_cost": 8, "else_extra": 2},
+}
+
+MODES = ("baseline", "sr")
+
+
+def _launch(workload, compiled, machine_cls, fastpath, scheduler=None,
+            metrics=False, seed=2020):
+    """One launch of a compiled workload on a fresh memory."""
+    memory = GlobalMemory()
+    args = workload.setup(memory)
+    kwargs = {"seed": seed, "fastpath": fastpath, "metrics": metrics}
+    if scheduler is not None:
+        kwargs["scheduler"] = scheduler
+    machine = machine_cls(compiled.module, **kwargs)
+    return machine.launch(
+        workload.kernel_name, workload.n_threads, args=args, memory=memory
+    )
+
+
+def _fingerprint(launch):
+    """Everything the conformance matrix pins, JSON-normalized so an int
+    silently becoming a float also counts as drift."""
+    summary = dict(launch.profiler.summary())
+    # Stall attribution only exists when metrics are on; everything else in
+    # the summary must be independent of observability.
+    summary.pop("stall_cycles", None)
+    return (
+        launch.store_traces(),
+        launch.retired_per_thread(),
+        json.dumps(summary, sort_keys=True, default=repr),
+        launch.cycles,
+        launch.simt_efficiency,
+    )
+
+
+def _compiled(workload, mode):
+    module = workload.module()
+    if mode == "baseline":
+        return compile_baseline(module)
+    return compile_sr(module, threshold=workload.sr_threshold)
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+class TestFastpathConformance:
+    """Fast path vs interpreter, per machine × scheduler × compile mode."""
+
+    def test_gpu_machine_bit_identical(self, name):
+        workload = get_workload(name, **CORPUS[name])
+        for mode in MODES:
+            compiled = _compiled(workload, mode)
+            for scheduler in sorted(SCHEDULERS):
+                slow = _fingerprint(_launch(
+                    workload, compiled, GPUMachine, False, scheduler
+                ))
+                fast = _fingerprint(_launch(
+                    workload, compiled, GPUMachine, True, scheduler
+                ))
+                assert fast == slow, (name, mode, scheduler)
+
+    def test_stack_machine_bit_identical(self, name):
+        workload = get_workload(name, **CORPUS[name])
+        for mode in MODES:
+            compiled = _compiled(workload, mode)
+            slow = _fingerprint(_launch(
+                workload, compiled, StackGPUMachine, False
+            ))
+            fast = _fingerprint(_launch(
+                workload, compiled, StackGPUMachine, True
+            ))
+            assert fast == slow, (name, mode)
+
+    def test_observability_preserves_results(self, name):
+        """Metrics on vs off never changes traces, counters, or cycles —
+        the PR-1 invariant, re-proven on the fast path and the stack
+        machine."""
+        workload = get_workload(name, **CORPUS[name])
+        compiled = _compiled(workload, "sr")
+        for machine_cls in (GPUMachine, StackGPUMachine):
+            plain = _launch(workload, compiled, machine_cls, True)
+            observed = _launch(
+                workload, compiled, machine_cls, True, metrics=True
+            )
+            assert _fingerprint(observed) == _fingerprint(plain), (
+                name, machine_cls.__name__,
+            )
+            assert observed.metrics is not None
+            assert plain.metrics is None
+
+    def test_cross_scheduler_traces_match(self, name):
+        """Store traces agree across schedulers and against the stack
+        machine for workloads with deterministic task assignment (dynamic
+        work queues reorder memory, so only those are comparable)."""
+        workload = get_workload(name, **CORPUS[name])
+        if not workload.deterministic_memory:
+            pytest.skip(f"{name} uses a dynamic work queue")
+        compiled = _compiled(workload, "sr")
+        reference = _launch(
+            workload, compiled, GPUMachine, False, "convergence"
+        ).store_traces()
+        for scheduler in sorted(SCHEDULERS):
+            for fastpath in (False, True):
+                traces = _launch(
+                    workload, compiled, GPUMachine, fastpath, scheduler
+                ).store_traces()
+                assert traces == reference, (name, scheduler, fastpath)
+        for fastpath in (False, True):
+            traces = _launch(
+                workload, compiled, StackGPUMachine, fastpath
+            ).store_traces()
+            assert traces == reference, (name, "stack", fastpath)
+
+
+class TestRandomKernelConformance:
+    """The fuzzer shakes the decoded handlers with shapes the Table 2
+    corpus may not reach (soft thresholds, interprocedural calls)."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_kernel())
+    def test_fastpath_matches_interpreter(self, program):
+        module = lower_program(program)
+        compiled = compile_sr(module)
+        for machine_cls in (GPUMachine, StackGPUMachine):
+            slow = machine_cls(compiled.module, fastpath=False).launch("k", 32)
+            fast = machine_cls(compiled.module, fastpath=True).launch("k", 32)
+            assert _fingerprint(fast) == _fingerprint(slow), (
+                machine_cls.__name__,
+            )
+
+
+RUNAWAY = """
+kernel k() {
+    let i = 0;
+    while (i < 1000000) {
+        i = i + 1;
+    }
+    store(tid(), i);
+}
+"""
+
+
+class TestIssueBudget:
+    """All engines share one default cap and fail with LaunchError."""
+
+    def test_defaults_aligned(self):
+        assert (
+            inspect.signature(GPUMachine.__init__)
+            .parameters["max_issues"].default
+            == DEFAULT_MAX_ISSUES
+        )
+        assert (
+            inspect.signature(StackGPUMachine.__init__)
+            .parameters["max_issues"].default
+            == DEFAULT_MAX_ISSUES
+        )
+        assert (
+            inspect.signature(run_reference_thread)
+            .parameters["max_issues"].default
+            == DEFAULT_MAX_ISSUES
+        )
+
+    @pytest.mark.parametrize("fastpath", [False, True])
+    def test_gpu_machine_overrun_raises_launch_error(self, fastpath):
+        module = compile_kernel_source(RUNAWAY)
+        with pytest.raises(LaunchError, match="issue slots"):
+            GPUMachine(module, max_issues=1000, fastpath=fastpath).launch(
+                "k", 32
+            )
+
+    @pytest.mark.parametrize("fastpath", [False, True])
+    def test_stack_machine_overrun_raises_launch_error(self, fastpath):
+        module = compile_kernel_source(RUNAWAY)
+        with pytest.raises(LaunchError, match="issue slots"):
+            StackGPUMachine(module, max_issues=1000, fastpath=fastpath).launch(
+                "k", 32
+            )
+
+    def test_reference_overrun_raises_launch_error(self):
+        module = compile_kernel_source(RUNAWAY)
+        with pytest.raises(LaunchError, match="issue slots"):
+            run_reference_thread(module, "k", 0, 32, max_issues=1000)

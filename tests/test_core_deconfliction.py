@@ -164,3 +164,110 @@ class TestStrategies:
         for name, prog in (("base", baseline), ("dyn", dynamic), ("stat", static)):
             results[name] = GPUMachine(prog.module).launch("k", 32).memory.snapshot()
         assert results["base"] == results["dyn"] == results["stat"]
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural deconfliction (soft function-entry waits, Section 4.3+4.4)
+# ---------------------------------------------------------------------------
+def _soft_interproc_program(label_threshold=2, call_threshold=4):
+    """A label prediction and a soft function prediction in one kernel.
+
+    Both branches of a divergent loop body call @helper, whose entry holds
+    the interprocedural SR wait; the label's region and the pdom barriers
+    span the call sites. Found by the conformance fuzzer: with a soft call
+    threshold, stragglers park inside @helper under threshold while the
+    members needed to release them sit behind the pdom wait — a cross-
+    barrier deadlock invisible to intra-function conflict analysis.
+    """
+    from repro.frontend import ast_nodes as A
+
+    return A.Program(functions=[
+        A.FuncDecl("k", [], A.Block([
+            A.Let("acc", A.Num(0.0)),
+            A.Let("t", A.CallExpr("tid", [])),
+            A.Predict("L1", threshold=label_threshold),
+            A.Predict("@helper", threshold=call_threshold),
+            A.For("i", A.Num(0), A.Num(2), A.Block([
+                A.If(
+                    A.Bin("<",
+                          A.CallExpr("hash01", [A.Bin(
+                              "+",
+                              A.Bin("*", A.Var("t"), A.Num(7.0)),
+                              A.Var("i"))]),
+                          A.Num(0.1015625)),
+                    A.Block([
+                        A.Label("L1", A.Assign("acc", A.CallExpr(
+                            "fma",
+                            [A.Var("acc"), A.Num(1.0001), A.Num(0.5)]))),
+                        A.Assign("acc", A.CallExpr(
+                            "helper", [A.Var("acc")])),
+                    ]),
+                    A.Block([
+                        A.Assign("acc", A.CallExpr("helper", [A.Bin(
+                            "+", A.Var("acc"), A.Num(1.0))])),
+                    ])),
+            ])),
+            A.Store(A.Var("t"), A.Var("acc")),
+        ]), is_kernel=True),
+        A.FuncDecl("helper", ["x"], A.Block([
+            A.Let("h", A.Var("x")),
+            A.Assign("h", A.CallExpr(
+                "fma", [A.Var("h"), A.Num(1.0003), A.Num(0.25)])),
+            A.Return(A.Var("h")),
+        ]), is_kernel=False),
+    ])
+
+
+class TestInterproceduralDeconfliction:
+    def _module(self, **kwargs):
+        from repro.frontend.lower import lower_program
+
+        return lower_program(_soft_interproc_program(**kwargs))
+
+    def test_soft_call_threshold_gets_call_site_cancels(self):
+        compiled = ReconvergenceCompiler().compile(self._module(), mode="sr")
+        interproc = [
+            r for r in compiled.report.sr_reports
+            if getattr(r, "callee", None) == "helper"
+        ]
+        assert interproc, "function prediction not lowered"
+        barrier = interproc[0].barrier
+        cancels = [
+            r.cancels_inserted
+            for r in compiled.report.deconfliction_reports
+            if any(c.first == barrier for c in r.conflicts)
+        ]
+        assert cancels and cancels[0], "no call-site cancels inserted"
+
+    @pytest.mark.parametrize("strategy", ["dynamic", "static"])
+    def test_soft_call_threshold_no_deadlock(self, strategy):
+        from repro.simt import GlobalMemory
+        from repro.simt.reference import run_reference_launch
+
+        module = self._module()
+        reference = run_reference_launch(module, "k", 64)
+        for mode in ("baseline", "sr", "none"):
+            compiled = ReconvergenceCompiler(deconfliction=strategy).compile(
+                module, mode=mode
+            )
+            launch = GPUMachine(compiled.module).launch(
+                "k", 64, memory=GlobalMemory()
+            )
+            assert launch.store_traces() == reference, (strategy, mode)
+
+    def test_hard_call_threshold_left_untouched(self):
+        # The paper's Figure 2(c) claim: a *hard* function-entry wait does
+        # not conflict with compiler-inserted reconvergence, so no
+        # call-site cancels may appear (funccall's codegen is pinned).
+        compiled = ReconvergenceCompiler().compile(
+            self._module(call_threshold=None), mode="sr"
+        )
+        interproc = [
+            r for r in compiled.report.sr_reports
+            if getattr(r, "callee", None) == "helper"
+        ]
+        barrier = interproc[0].barrier
+        assert not any(
+            any(c.first == barrier for c in r.conflicts)
+            for r in compiled.report.deconfliction_reports
+        )

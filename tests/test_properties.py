@@ -19,12 +19,43 @@ from repro.simt import GPUMachine
 @st.composite
 def random_kernel(draw):
     """A random kernel with loops, divergent branches, and a labeled
-    reconvergence point under a Predict directive."""
+    reconvergence point under a Predict directive.
+
+    Optionally adds a device function called from the divergent region with
+    an interprocedural ``Predict("@helper")`` (Section 4.4) — its threshold,
+    like the label prediction's, may be a soft-barrier threshold (Section
+    4.6) — so the fuzz net covers the interprocedural and softbarrier
+    passes too.
+    """
     statements = [
         A.Let("acc", A.Num(0.0)),
         A.Let("t", A.CallExpr("tid", [])),
         A.Predict("L1", threshold=draw(st.one_of(st.none(), st.integers(2, 32)))),
     ]
+    functions = []
+    use_call = draw(st.booleans())
+    call_stmts = []
+    if use_call:
+        chain = draw(st.integers(1, 4))
+        helper_body = (
+            [A.Let("h", A.Var("x"))]
+            + [
+                A.Assign(
+                    "h",
+                    A.CallExpr("fma", [A.Var("h"), A.Num(1.0003), A.Num(0.25)]),
+                )
+                for _ in range(chain)
+            ]
+            + [A.Return(A.Var("h"))]
+        )
+        functions.append(A.FuncDecl("helper", ["x"], A.Block(helper_body)))
+        statements.append(
+            A.Predict(
+                "@helper",
+                threshold=draw(st.one_of(st.none(), st.integers(2, 32))),
+            )
+        )
+        call_stmts = [A.Assign("acc", A.CallExpr("helper", [A.Var("acc")]))]
     outer_trips = draw(st.integers(2, 6))
     use_inner_loop = draw(st.booleans())
     expensive_len = draw(st.integers(1, 6))
@@ -58,6 +89,7 @@ def random_kernel(draw):
                     A.Block(
                         [labeled]
                         + expensive[1:]
+                        + call_stmts
                         + [A.Assign("j", A.Bin("+", A.Var("j"), A.Num(1)))]
                     ),
                 ),
@@ -73,13 +105,44 @@ def random_kernel(draw):
             ),
             A.Num(prob),
         )
-        body = A.Block([A.If(cond, A.Block([labeled] + expensive[1:]))])
+        else_body = None
+        if use_call and draw(st.booleans()):
+            # Common-function-call divergence (Figure 2c): both arms call
+            # the helper from different sites.
+            else_body = A.Block(
+                [
+                    A.Assign(
+                        "acc",
+                        A.CallExpr(
+                            "helper", [A.Bin("+", A.Var("acc"), A.Num(1.0))]
+                        ),
+                    )
+                ]
+            )
+        body = A.Block(
+            [
+                A.If(
+                    cond,
+                    A.Block([labeled] + expensive[1:] + call_stmts),
+                    else_body,
+                )
+            ]
+        )
     statements.append(A.For("i", A.Num(0), A.Num(outer_trips), body))
     statements.append(
         A.Store(A.Var("t"), A.Var("acc"))
     )
     decl = A.FuncDecl("k", [], A.Block(statements), is_kernel=True)
-    return A.Program(functions=[decl])
+    return A.Program(functions=[decl] + functions)
+
+
+@st.composite
+def random_launch(draw):
+    """(program, n_threads): a random kernel plus a launch width that may
+    span multiple warps (including a partial last warp)."""
+    program = draw(random_kernel())
+    n_threads = draw(st.sampled_from([32, 48, 64]))
+    return program, n_threads
 
 
 def _traces(module, scheduler="convergence"):

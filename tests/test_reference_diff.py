@@ -13,7 +13,7 @@ from repro.frontend import compile_kernel_source
 from repro.simt import GPUMachine, GlobalMemory
 from repro.simt.reference import run_reference_launch, run_reference_thread
 from tests.helpers import loop_merge_source
-from tests.test_properties import random_kernel
+from tests.test_properties import random_kernel, random_launch
 from repro.frontend.lower import lower_program
 
 SIMPLE = "kernel k() { store(tid(), tid() * 3.0 + 1.0); }"
@@ -82,3 +82,12 @@ class TestDifferential:
     def test_random_kernels_match_reference(self, program):
         module = lower_program(program)
         self._compare(module)
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_launch())
+    def test_random_multiwarp_launches_match_reference(self, program_launch):
+        """Launches spanning several warps (and a partial last warp) agree
+        with the isolated single-thread reference as well."""
+        program, n_threads = program_launch
+        module = lower_program(program)
+        self._compare(module, n=n_threads)
