@@ -6,7 +6,6 @@ barriers; Volta's ITS + convergence barriers can. SR therefore moves the
 needle only on the ITS machine.
 """
 
-from repro.core import compile_baseline, compile_sr
 from repro.harness.report import format_table
 from repro.simt import GPUMachine, GlobalMemory, StackGPUMachine
 from repro.workloads import get_workload

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Drive the pass manager directly: custom pipelines via repro.tools.opt.
+
+The compiler is a registry of named passes over a declarative pipeline
+(``docs/performance.md#pipelines``). This example builds a divergent
+kernel, then uses the ``repro.tools.opt`` driver — the same entry point
+as ``python -m repro.tools.opt`` — to:
+
+1. list the registered passes,
+2. run the stock ``sr`` pipeline and show per-pass spans + analysis
+   cache stats,
+3. run a *custom* pipeline that swaps dynamic deconfliction for static
+   and skips the optimizer,
+4. stop mid-pipeline to inspect the IR right after PDOM insertion, and
+5. record a golden per-pass trace, then bisect a deviating pipeline
+   against it — the debugging loop for "which pass changed the IR?".
+
+Run: ``python examples/custom_pipeline.py``
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.tools.opt import main as opt  # noqa: E402
+
+KERNEL = """
+kernel demo() {
+    let acc = 0.0;
+    let t = tid();
+    predict L1;
+    for i in 0..12 {
+        if (hash01(t * 31.0 + i) < 0.25) {
+            label L1: acc = acc + 1.0;
+            acc = fma(acc, 0.99, 0.5); acc = fma(acc, 0.99, 0.5);
+        }
+    }
+    store(t, acc);
+}
+"""
+
+
+def banner(title):
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        kernel = os.path.join(tmp, "demo.srk")
+        with open(kernel, "w") as handle:
+            handle.write(KERNEL)
+
+        banner("registered passes")
+        opt(["--list-passes"])
+
+        banner("stock sr pipeline, spans + analysis cache stats")
+        opt([kernel, "--mode", "sr", "--report", "--stats"])
+
+        banner("custom pipeline: static deconfliction")
+        opt([
+            kernel,
+            "--pipeline",
+            "collect-predictions,pdom-sync,sr-insert,deconflict[static],"
+            "strip-directives,allocate,verify",
+            "--stats",
+        ])
+
+        banner("stop after pdom-sync (IR mid-compilation)")
+        opt([kernel, "--stop-after", "pdom-sync", "--emit-ir"])
+
+        banner("record a golden trace, bisect a deviating pipeline")
+        trace = os.path.join(tmp, "trace.json")
+        opt([kernel, "--record-trace", trace])
+        status = opt([
+            kernel,
+            "--pipeline",
+            "collect-predictions,pdom-sync,sr-insert,deconflict[static],"
+            "strip-directives,allocate,verify",
+            "--bisect",
+            trace,
+        ])
+        print(f"(bisect exit status: {status})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

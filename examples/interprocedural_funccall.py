@@ -16,7 +16,6 @@ from repro.core import make_wrapper
 from repro.frontend import compile_kernel_source
 from repro.ir.printer import format_function
 from repro.workloads import get_workload
-from repro.workloads.micro_funccall import MicroFuncCall
 
 
 def main():

@@ -26,14 +26,13 @@ efficiency is actually poor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.cfg_utils import CFGView
 from repro.analysis.divergence import DivergenceAnalysis
 from repro.analysis.loops import compute_loops
 from repro.ir.instructions import Imm, Instruction, Opcode, Reg
 from repro.simt.costs import DEFAULT_COST_MODEL
-from repro.simt.warp import WARP_SIZE
 
 KIND_LOOP_MERGE = "loop-merge"
 KIND_ITERATION_DELAY = "iteration-delay"

@@ -70,7 +70,6 @@ def _stranded_barriers(function, joined, liveness):
     """Joined at a latch (back edge) while dead: the thread loops forever
     carrying membership no wait will ever clear — waiters strand."""
     findings = []
-    preds = function.predecessors()
     for block in function.blocks:
         for name in joined.joined_out(block.name):
             for succ in block.successor_names():

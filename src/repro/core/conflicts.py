@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.joined_barriers import JoinedBarriers
-from repro.core.primitives import barrier_name_of
 from repro.ir.instructions import BARRIER_OPS, Barrier
 
 

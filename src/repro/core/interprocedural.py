@@ -32,7 +32,7 @@ from repro.core.primitives import (
     wait_barrier_soft,
 )
 from repro.errors import TransformError
-from repro.ir.instructions import BlockRef, FuncRef, Instruction, Opcode
+from repro.ir.instructions import FuncRef, Instruction, Opcode
 
 ORIGIN = "sr-interproc"
 

@@ -33,6 +33,16 @@ class PdomSyncReport:
     def barrier_for_branch(self, block_name):
         return self.barriers.get(block_name, (None, None))[0]
 
+    def describe(self):
+        parts = [
+            f"{branch}->{barrier}@{join}"
+            for branch, (barrier, join) in sorted(self.barriers.items())
+        ]
+        body = ", ".join(parts) if parts else "no divergent branches"
+        if self.skipped_branches:
+            body += f" (skipped {len(self.skipped_branches)})"
+        return body
+
 
 def insert_pdom_sync(
     function,

@@ -1,7 +1,10 @@
 """The compiler pipeline tying Section 4 together.
 
-:class:`ReconvergenceCompiler` clones the input module and compiles it in
-one of several modes:
+:class:`ReconvergenceCompiler` is a thin façade over the pass manager
+(:mod:`repro.core.passmgr`): it resolves the compile mode to a declarative
+pipeline description, builds the :class:`~repro.core.passmgr.PassContext`,
+and runs a :class:`~repro.core.passmgr.PassManager` over a clone of the
+input module. The modes:
 
 * ``baseline`` — PDOM synchronization only; predictions are ignored
   (what the production compiler does today, Figure 1a).
@@ -11,6 +14,11 @@ one of several modes:
 * ``none`` — no synchronization at all; convergence comes only from the
   scheduler (a stress baseline used in tests).
 
+Every mode is just a pipeline string (see :data:`MODE_PIPELINES`); an
+explicit ``pipeline=`` argument — or the ``REPRO_PIPELINE`` environment
+variable — replaces the mode's description entirely, so arbitrary pass
+orders can be compiled (and simulated) without code changes.
+
 Soft barriers are configured through prediction thresholds
 (``Predict`` attrs or the ``threshold`` compile argument).
 """
@@ -19,24 +27,57 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.divergence import analyze_module_divergence
-from repro.core.allocation import allocate_module
-from repro.core.deconfliction import (
-    DYNAMIC,
-    deconflict,
-    deconflict_interprocedural,
+from repro.core.deconfliction import DYNAMIC
+from repro.core.passmgr import (
+    AnalysisManager,
+    PassContext,
+    PassManager,
+    default_pipeline,
+    format_pipeline,
+    parse_pipeline,
 )
-from repro.core.directives import collect_predictions, strip_directives
-from repro.core.insertion import insert_speculative_reconvergence
-from repro.core.interprocedural import insert_interprocedural_sr
-from repro.core.pdom_sync import insert_pdom_sync
 from repro.core.primitives import BarrierNamer
-from repro.core.softbarrier import set_prediction_threshold
 from repro.errors import TransformError
-from repro.ir.verifier import verify_module
 from repro.obs.spans import SpanRecorder
 
 MODES = ("baseline", "sr", "auto", "none")
+
+#: The registered pipeline description for each compile mode (before the
+#: optional ``optimize`` prefix and ``allocate``/``verify`` suffix).
+MODE_PIPELINES = {
+    "baseline": ("pdom-sync", "strip-directives"),
+    "sr": (
+        "collect-predictions",
+        "pdom-sync",
+        "sr-insert",
+        "deconflict",
+        "strip-directives",
+    ),
+    "auto": (
+        "autodetect",
+        "collect-predictions",
+        "pdom-sync",
+        "sr-insert",
+        "deconflict",
+        "strip-directives",
+    ),
+    "none": ("strip-directives",),
+}
+
+
+def pipeline_for_mode(mode, optimize=False, allocate=True, verify=True):
+    """The textual pipeline a compile mode resolves to."""
+    if mode not in MODE_PIPELINES:
+        raise TransformError(f"unknown compile mode {mode!r}; use {MODES}")
+    parts = []
+    if optimize:
+        parts.append("optimize")
+    parts.extend(MODE_PIPELINES[mode])
+    if allocate:
+        parts.append("allocate")
+    if verify:
+        parts.append("verify")
+    return ",".join(parts)
 
 
 @dataclass
@@ -44,6 +85,7 @@ class CompileReport:
     """Everything the pipeline did, for inspection and tests."""
 
     mode: str
+    pipeline: str = ""                                    # canonical description
     predictions: list = field(default_factory=list)       # Prediction records
     pdom_reports: dict = field(default_factory=dict)      # fn -> PdomSyncReport
     sr_reports: list = field(default_factory=list)        # InsertionReports
@@ -51,12 +93,20 @@ class CompileReport:
     allocation: dict = field(default_factory=dict)        # fn -> {abstract: phys}
     auto_candidates: list = field(default_factory=list)
     opt_report: object = None                             # OptReport if optimize=True
-    spans: list = field(default_factory=list)             # obs.spans.Span per phase
+    spans: list = field(default_factory=list)             # obs.spans.Span per pass
+    analysis_stats: dict = field(default_factory=dict)    # AnalysisManager.stats()
+    pass_stats: dict = field(default_factory=dict)        # per-pass extras
 
     def describe(self, with_spans=False):
         lines = [f"mode={self.mode}"]
+        if self.pipeline:
+            lines.append(f"  pipeline: {self.pipeline}")
+        for candidate in self.auto_candidates:
+            lines.append("  auto: " + candidate.describe())
         for prediction in self.predictions:
             lines.append("  " + prediction.describe())
+        for name in sorted(self.pdom_reports):
+            lines.append(f"  pdom@{name}: " + self.pdom_reports[name].describe())
         for report in self.sr_reports:
             lines.append("  " + report.describe())
         for report in self.deconfliction_reports:
@@ -76,7 +126,15 @@ class CompiledProgram:
 
 
 class ReconvergenceCompiler:
-    """Compiles modules with configurable reconvergence strategies."""
+    """Compiles modules with configurable reconvergence strategies.
+
+    ``pipeline`` (constructor or :meth:`compile` argument) overrides the
+    mode's registered pipeline with an arbitrary description; the
+    ``REPRO_PIPELINE`` environment variable does the same process-wide.
+    ``verify_each`` / ``print_after_all`` / ``stop_after`` forward to
+    :class:`~repro.core.passmgr.PassManager` (each also has an
+    environment default — see that class).
+    """
 
     def __init__(
         self,
@@ -85,6 +143,10 @@ class ReconvergenceCompiler:
         allocate=True,
         verify=True,
         optimize=False,
+        pipeline=None,
+        verify_each=None,
+        print_after_all=None,
+        stop_after=None,
     ):
         self.deconfliction = deconfliction
         self.assume_all_divergent = assume_all_divergent
@@ -94,126 +156,60 @@ class ReconvergenceCompiler:
         # before synchronization insertion; labels and predict directives
         # are anchors those passes preserve.
         self.optimize = optimize
+        self.pipeline = pipeline
+        self.verify_each = verify_each
+        self.print_after_all = print_after_all
+        self.stop_after = stop_after
 
     # ------------------------------------------------------------------
-    def compile(self, module, mode="sr", threshold=None, auto_options=None):
-        """Compile a clone of ``module``; the input is never mutated."""
+    def resolve_pipeline(self, mode="sr", pipeline=None):
+        """The parsed pipeline a compile call would run.
+
+        Priority: explicit ``pipeline`` argument, then the compiler's
+        ``pipeline``, then ``REPRO_PIPELINE``, then the mode's registered
+        description.
+        """
         if mode not in MODES:
             raise TransformError(f"unknown compile mode {mode!r}; use {MODES}")
+        description = pipeline or self.pipeline or default_pipeline()
+        if description is None:
+            description = pipeline_for_mode(
+                mode,
+                optimize=self.optimize,
+                allocate=self.allocate,
+                verify=self.verify,
+            )
+        return parse_pipeline(description)
+
+    def compile(self, module, mode="sr", threshold=None, auto_options=None,
+                pipeline=None):
+        """Compile a clone of ``module``; the input is never mutated."""
+        specs = self.resolve_pipeline(mode, pipeline)
         clone = module.clone()
-        report = CompileReport(mode=mode)
-        namer = BarrierNamer()
-        # Every phase runs under a timed span recording wall time and the
+        report = CompileReport(mode=mode, pipeline=format_pipeline(specs))
+        # Every pass runs under a timed span recording wall time and the
         # module's blocks/instructions/barriers before -> after.
         spans = SpanRecorder()
-
-        if self.optimize:
-            from repro.opt import optimize_module
-
-            with spans.span("optimize", clone):
-                report.opt_report = optimize_module(clone)
-
-        if mode == "none":
-            with spans.span("strip-directives", clone):
-                for function in clone:
-                    strip_directives(function)
-            return self._finish(clone, report, spans)
-
-        if mode == "auto":
-            from repro.core.autodetect import detect_and_annotate
-
-            with spans.span("autodetect", clone):
-                for function in clone:
-                    strip_directives(function)
-                report.auto_candidates = detect_and_annotate(
-                    clone, **(auto_options or {})
-                )
-
-        with spans.span("divergence-analysis", clone):
-            divergence = analyze_module_divergence(clone)
-
-            # Gather predictions before PDOM insertion shifts indices.
-            predictions_by_fn = {}
-            if mode in ("sr", "auto"):
-                for function in clone:
-                    if threshold is not None:
-                        set_prediction_threshold(function, threshold)
-                    predictions = collect_predictions(function)
-                    if predictions:
-                        predictions_by_fn[function.name] = predictions
-                        report.predictions.extend(predictions)
-
-        # Baseline PDOM synchronization everywhere.
-        with spans.span("pdom-sync", clone):
-            for function in clone:
-                report.pdom_reports[function.name] = insert_pdom_sync(
-                    function,
-                    namer=namer,
-                    divergence=divergence.get(function.name),
-                    assume_all_divergent=self.assume_all_divergent,
-                )
-
-        # Speculative Reconvergence per prediction, then deconflict.
-        sr_barriers_by_fn = {}
-        with spans.span("sr-insertion", clone):
-            for function in clone:
-                predictions = predictions_by_fn.get(function.name, ())
-                sr_barriers = []
-                for prediction in predictions:
-                    if prediction.is_interprocedural:
-                        sub = insert_interprocedural_sr(
-                            clone, function, prediction, namer=namer
-                        )
-                    else:
-                        sub = insert_speculative_reconvergence(
-                            function, prediction, namer=namer
-                        )
-                    report.sr_reports.append(sub)
-                    sr_barriers.append(sub.barrier)
-                    if sub.exit_barrier:
-                        sr_barriers.append(sub.exit_barrier)
-                if sr_barriers:
-                    sr_barriers_by_fn[function.name] = sr_barriers
-
-        with spans.span("deconfliction", clone):
-            for function in clone:
-                sr_barriers = sr_barriers_by_fn.get(function.name)
-                if sr_barriers:
-                    report.deconfliction_reports.append(
-                        deconflict(
-                            function, sr_barriers, strategy=self.deconfliction
-                        )
-                    )
-            # A soft interprocedural SR barrier waits at its callee's
-            # entry, invisible to the per-function analysis above; its
-            # conflicts are resolved at the call sites instead.
-            for sub in report.sr_reports:
-                if getattr(sub, "callee", None) and sub.threshold is not None:
-                    interproc = deconflict_interprocedural(
-                        clone.function(sub.caller),
-                        sub.barrier,
-                        sub.callee,
-                        exit_barrier=sub.exit_barrier,
-                        strategy=self.deconfliction,
-                    )
-                    if interproc.conflicts:
-                        report.deconfliction_reports.append(interproc)
-
-        with spans.span("strip-directives", clone):
-            for function in clone:
-                strip_directives(function)
-
-        return self._finish(clone, report, spans)
-
-    # ------------------------------------------------------------------
-    def _finish(self, clone, report, spans):
-        if self.allocate:
-            with spans.span("allocation", clone):
-                report.allocation = allocate_module(clone)
-        if self.verify:
-            with spans.span("verify", clone):
-                verify_module(clone)
+        ctx = PassContext(
+            report=report,
+            namer=BarrierNamer(),
+            analyses=AnalysisManager(clone, spans=spans),
+            spans=spans,
+            mode=mode,
+            threshold=threshold,
+            auto_options=auto_options,
+            deconfliction=self.deconfliction,
+            assume_all_divergent=self.assume_all_divergent,
+        )
+        manager = PassManager(
+            specs,
+            verify_each=self.verify_each,
+            print_after_all=self.print_after_all,
+            stop_after=self.stop_after,
+        )
+        manager.run(clone, ctx)
         report.spans = spans.spans
+        report.analysis_stats = ctx.analyses.stats()
         return CompiledProgram(module=clone, report=report)
 
 

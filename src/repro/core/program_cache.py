@@ -6,7 +6,13 @@ options over and over — ``compare_all`` alone compiles every Table 2
 workload twice, and Figures 7 and 8 both call it. The
 :class:`ProgramCache` memoizes :meth:`ReconvergenceCompiler.compile`
 keyed by module identity plus the full option tuple
-``(mode, threshold, auto_options, compiler options)``.
+``(mode, threshold, auto_options, pipeline, compiler options)``. The
+pipeline component is the *effective* description — an explicit
+``pipeline=`` argument or the ``REPRO_PIPELINE`` override — so compiles
+of the same module under different pass pipelines (or the same pipeline
+with different pass options) occupy distinct entries; debug stops
+(``REPRO_STOP_AFTER``) key separately too, so a truncated debug compile
+never poisons the cache.
 
 Modules are held weakly, so a cache entry dies with its module. Because
 modules are mutable, each entry also stores the module's
@@ -27,6 +33,7 @@ import os
 import weakref
 from contextlib import contextmanager
 
+from repro.core.passmgr import default_pipeline
 from repro.core.pipeline import ReconvergenceCompiler
 from repro.ir.function import structure_token
 
@@ -96,7 +103,7 @@ class ProgramCache:
         self.misses = 0
 
     def compile(self, module, mode="sr", threshold=None, auto_options=None,
-                **compiler_options):
+                pipeline=None, **compiler_options):
         """The cached compile of ``module`` under exactly these options."""
         try:
             per_module = self._programs.setdefault(module, {})
@@ -104,13 +111,16 @@ class ProgramCache:
                 mode,
                 _freeze(threshold),
                 _freeze(auto_options),
+                _freeze(pipeline or default_pipeline()),
+                os.environ.get("REPRO_STOP_AFTER") or None,
                 _freeze(compiler_options),
             )
         except TypeError:
             # Unhashable option or non-weak-referenceable module: compile
             # directly, no caching.
             return self._compile(
-                module, mode, threshold, auto_options, compiler_options
+                module, mode, threshold, auto_options, pipeline,
+                compiler_options,
             )
         token = structure_token(module)
         entry = per_module.get(key)
@@ -119,16 +129,18 @@ class ProgramCache:
             return entry[1]
         self.misses += 1
         program = self._compile(
-            module, mode, threshold, auto_options, compiler_options
+            module, mode, threshold, auto_options, pipeline, compiler_options
         )
         per_module[key] = (token, program)
         return program
 
     @staticmethod
-    def _compile(module, mode, threshold, auto_options, compiler_options):
+    def _compile(module, mode, threshold, auto_options, pipeline,
+                 compiler_options):
         compiler = ReconvergenceCompiler(**compiler_options)
         return compiler.compile(
-            module, mode=mode, threshold=threshold, auto_options=auto_options
+            module, mode=mode, threshold=threshold, auto_options=auto_options,
+            pipeline=pipeline,
         )
 
     def clear(self):
@@ -145,13 +157,13 @@ PROGRAM_CACHE = ProgramCache()
 
 
 def compile_cached(module, mode="sr", threshold=None, auto_options=None,
-                   **compiler_options):
+                   pipeline=None, **compiler_options):
     """Compile through :data:`PROGRAM_CACHE` (or directly when disabled)."""
     if not CACHE_ENABLED:
         return ProgramCache._compile(
-            module, mode, threshold, auto_options, compiler_options
+            module, mode, threshold, auto_options, pipeline, compiler_options
         )
     return PROGRAM_CACHE.compile(
         module, mode=mode, threshold=threshold, auto_options=auto_options,
-        **compiler_options,
+        pipeline=pipeline, **compiler_options,
     )

@@ -14,7 +14,6 @@ from __future__ import annotations
 from repro.errors import TransformError
 from repro.frontend import ast_nodes as A
 from repro.ir import Function, IRBuilder, Module, Opcode
-from repro.ir.instructions import FuncRef, Imm
 
 _BIN_OPS = {
     "+": Opcode.ADD,
@@ -75,7 +74,7 @@ class _FunctionLowerer:
 
     # ------------------------------------------------------------------
     def lower(self):
-        entry = self.builder.new_block("entry", switch=True)
+        self.builder.new_block("entry", switch=True)
         for name in self.decl.params:
             reg = self.function.new_reg(name)
             self.function.params.append(reg)
@@ -252,10 +251,9 @@ class _FunctionLowerer:
             return
         if isinstance(stmt, A.Predict):
             if stmt.target.startswith("@"):
-                instr = self.builder.predict_call(stmt.target[1:])
+                self.builder.predict_call(stmt.target[1:])
             else:
                 self.builder.predict(stmt.target)
-                instr = self.builder.block.instructions[-1]
             if stmt.threshold is not None:
                 self.builder.block.instructions[-1].attrs["threshold"] = int(
                     stmt.threshold

@@ -10,6 +10,7 @@ funnel is opt-in via ``funnel`` or ``--full``). Example::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -38,7 +39,28 @@ def main(argv=None):
         help="worker processes for parallelizable figures "
              "(default: $REPRO_JOBS or 1; -1 = one per CPU)",
     )
+    parser.add_argument(
+        "--pipeline", default=None, metavar="DESC",
+        help="compile every workload with this pass pipeline instead of the "
+             "mode's registered one (sets REPRO_PIPELINE, inherited by "
+             "parallel workers); see --list-passes for pass names",
+    )
+    parser.add_argument(
+        "--list-passes", action="store_true",
+        help="list the registered compiler passes and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_passes:
+        from repro.core.passmgr import list_passes
+
+        print(list_passes())
+        return 0
+    if args.pipeline:
+        from repro.core.passmgr import parse_pipeline
+
+        parse_pipeline(args.pipeline)  # fail fast on a bad description
+        os.environ["REPRO_PIPELINE"] = args.pipeline
 
     # Figures whose experiment bags fan out over worker processes.
     parallel_figures = {"fig7", "fig8", "fig9", "fig10"}

@@ -7,13 +7,13 @@ the benchmark suite both call these.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.harness.experiment import compare_all, threshold_sweep
 from repro.harness.parallel import run_tasks, task
-from repro.harness.report import efficiency_chart, format_table, markdown_table
+from repro.harness.report import efficiency_chart, format_table
 from repro.harness.timeline import render_timeline
-from repro.workloads import FIGURE7_WORKLOADS, REGISTRY, get_workload
+from repro.workloads import FIGURE7_WORKLOADS, get_workload
 from repro.workloads.corpus import (
     CATEGORY_COUNTS,
     generate_corpus,

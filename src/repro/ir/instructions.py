@@ -20,7 +20,7 @@ owning function.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import IRError
 

@@ -24,7 +24,6 @@ from repro.ir.instructions import (
     Barrier,
     BlockRef,
     FuncRef,
-    Imm,
     Opcode,
     Reg,
 )

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 
 from repro.errors import SimulationError
-from repro.ir.instructions import Barrier, BlockRef, FuncRef, Imm, Opcode, Reg
+from repro.ir.instructions import Barrier, Imm, Opcode, Reg
 from repro.obs.events import (
     BarrierArriveEvent,
     BarrierReleaseEvent,

@@ -7,7 +7,7 @@ profile feeds the profile-guided variant of the Section 4.5 heuristics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.obs.events import IssueEvent
 from repro.simt.warp import WARP_SIZE

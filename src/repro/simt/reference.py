@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.errors import LaunchError
 from repro.simt.costs import DEFAULT_COST_MODEL
 from repro.simt.executor import Executor
-from repro.simt.machine import DEFAULT_MAX_ISSUES, GPUMachine
+from repro.simt.machine import DEFAULT_MAX_ISSUES
 from repro.simt.memory import GlobalMemory
 from repro.simt.profiler import Profiler
 from repro.simt.warp import WARP_SIZE, Thread, Warp

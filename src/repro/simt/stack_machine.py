@@ -17,7 +17,7 @@ with SR annotations changes nothing on this machine, which
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.cfg_utils import CFGView
 from repro.analysis.dominators import compute_post_dominators

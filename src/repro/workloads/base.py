@@ -155,16 +155,20 @@ class Workload:
             self._module = cached
         return self._module
 
-    def compile(self, mode="sr", threshold="default", **compiler_options):
+    def compile(self, mode="sr", threshold="default", pipeline=None,
+                **compiler_options):
         """Compile with the reconvergence pipeline.
 
         ``threshold="default"`` uses the workload's ``sr_threshold`` (the
         "user's" choice); pass ``None`` explicitly for a hard barrier.
+        ``pipeline`` replaces the mode's registered pass pipeline with an
+        arbitrary description (see :mod:`repro.core.passmgr`).
         """
         if threshold == "default":
             threshold = self.sr_threshold
         return compile_cached(
-            self.module(), mode=mode, threshold=threshold, **compiler_options
+            self.module(), mode=mode, threshold=threshold, pipeline=pipeline,
+            **compiler_options
         )
 
     def run(
@@ -175,6 +179,7 @@ class Workload:
         seed=2020,
         compiled=None,
         auto_options=None,
+        pipeline=None,
         trace=False,
         sink=None,
         metrics=False,
@@ -184,6 +189,7 @@ class Workload:
 
         ``threshold="default"`` uses the workload's ``sr_threshold``;
         ``None`` forces a hard barrier; an int sets a soft threshold.
+        ``pipeline`` overrides the mode's registered pass pipeline.
         ``trace``/``sink``/``metrics`` enable repro.obs observability on
         the launch (all off by default).
         """
@@ -195,6 +201,7 @@ class Workload:
                 mode=mode,
                 threshold=threshold,
                 auto_options=auto_options,
+                pipeline=pipeline,
                 **compiler_options,
             )
         memory = GlobalMemory()

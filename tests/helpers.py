@@ -33,10 +33,10 @@ def diamond_function(divergent=True):
     join = b.new_block("join")
     b.cbr(pred, then_block, else_block)
     b.set_block(then_block)
-    x = b.const(1.0, hint="x")
+    b.const(1.0, hint="x")
     b.bra(join)
     b.set_block(else_block)
-    y = b.const(2.0, hint="y")
+    b.const(2.0, hint="y")
     b.bra(join)
     b.set_block(join)
     b.store(b.tid(), 0.0)

@@ -35,6 +35,7 @@ class TestValueDivergence:
         # Constants defined outside divergent regions stay uniform.
         entry_consts = [r for r in const_defs if r is not None]
         assert entry_consts  # sanity
+        assert not any(analysis.is_divergent(r) for r in entry_consts)
 
     def test_divergence_propagates_through_arithmetic(self):
         module = compile_kernel_source(

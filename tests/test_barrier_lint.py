@@ -8,7 +8,7 @@ from repro.core.barrier_lint import (
 )
 from repro.core.insertion import insert_speculative_reconvergence
 from repro.core.pdom_sync import insert_pdom_sync
-from repro.ir import Barrier, Function, Instruction, Module, Opcode, make
+from repro.ir import Barrier, Function, Instruction, Opcode, make
 from tests.helpers import listing1_module
 
 

@@ -182,6 +182,31 @@ class TestRandomKernelConformance:
                 machine_cls.__name__,
             )
 
+    @settings(max_examples=15, deadline=None)
+    @given(random_kernel())
+    def test_pipeline_string_matches_legacy_compiler(self, program):
+        """Compiling through an explicit pipeline description must be
+        bit-identical (IR and execution) to the mode-resolved legacy
+        entry point, for every mode."""
+        from repro.core.pipeline import (
+            ReconvergenceCompiler,
+            pipeline_for_mode,
+        )
+        from repro.ir.printer import format_module
+
+        module = lower_program(program)
+        for mode in MODES:
+            legacy = ReconvergenceCompiler().compile(module, mode=mode)
+            explicit = ReconvergenceCompiler(
+                pipeline=pipeline_for_mode(mode)
+            ).compile(module, mode=mode)
+            assert format_module(explicit.module) == format_module(
+                legacy.module
+            ), mode
+            legacy_run = GPUMachine(legacy.module).launch("k", 32)
+            explicit_run = GPUMachine(explicit.module).launch("k", 32)
+            assert _fingerprint(explicit_run) == _fingerprint(legacy_run), mode
+
 
 RUNAWAY = """
 kernel k() {

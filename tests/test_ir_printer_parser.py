@@ -7,14 +7,12 @@ from hypothesis import strategies as st
 from repro.errors import ParseError
 from repro.ir import (
     Barrier,
-    BlockRef,
     Function,
     Imm,
     Instruction,
     Module,
     Opcode,
     Reg,
-    format_function,
     format_instruction,
     format_module,
     make,

@@ -5,8 +5,8 @@ import pytest
 from repro.core import ReconvergenceCompiler, compile_baseline, compile_sr
 from repro.frontend import compile_kernel_source
 from repro.ir import verify_module
-from repro.simt import WARP_SIZE, GPUMachine, GlobalMemory
-from tests.helpers import listing1_module, loop_merge_source
+from repro.simt import WARP_SIZE, GPUMachine
+from tests.helpers import loop_merge_source
 
 MULTI_PREDICTION_SRC = """
 kernel mp(n_tasks) {

@@ -15,7 +15,6 @@ from repro import compile_kernel_source, compile_sr
 from repro.core import compile_baseline
 from repro.ir import Opcode
 from repro.obs import (
-    ACTIVE,
     CallbackSink,
     Histogram,
     IssueEvent,
@@ -235,13 +234,16 @@ class TestSpans:
     def test_sr_compile_records_phases(self):
         program = compile_sr(compile_kernel_source(DIVERGENT))
         names = [span.name for span in program.report.spans]
+        # One span per pass-manager pass, plus nested analysis spans
+        # (an inner span is appended before the pass that requested it).
         assert names == [
-            "divergence-analysis",
+            "collect-predictions",
+            "analysis:divergence",
             "pdom-sync",
-            "sr-insertion",
-            "deconfliction",
+            "sr-insert",
+            "deconflict",
             "strip-directives",
-            "allocation",
+            "allocate",
             "verify",
         ]
         for span in program.report.spans:
@@ -252,7 +254,7 @@ class TestSpans:
         program = compile_sr(compile_kernel_source(DIVERGENT))
         by_name = {span.name: span for span in program.report.spans}
         assert by_name["pdom-sync"].ir_delta["barrier_instructions"] > 0
-        assert by_name["sr-insertion"].ir_delta["barrier_instructions"] > 0
+        assert by_name["sr-insert"].ir_delta["barrier_instructions"] > 0
         assert by_name["verify"].ir_delta["instructions"] == 0
 
     def test_mode_none_spans(self):
@@ -262,7 +264,7 @@ class TestSpans:
             compile_kernel_source(DIVERGENT), mode="none"
         )
         names = [span.name for span in program.report.spans]
-        assert names == ["strip-directives", "allocation", "verify"]
+        assert names == ["strip-directives", "allocate", "verify"]
 
     def test_module_stats_counts(self):
         module = compile_kernel_source(DIVERGENT)

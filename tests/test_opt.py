@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.core import ReconvergenceCompiler, collect_predictions
 from repro.frontend import compile_kernel_source
 from repro.ir import (
-    Imm,
     Opcode,
     count_static_instructions,
     verify_module,
@@ -163,7 +162,7 @@ class TestPipeline:
     def test_pass_manager_fixpoint(self):
         module = compile_kernel_source("kernel k() { store(0, 1.0); }")
         manager = PassManager()
-        first = manager.run(module)
+        manager.run(module)
         second = PassManager().run(module)
         assert second.total_changes == 0
 

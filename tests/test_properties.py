@@ -206,7 +206,6 @@ class TestEfficiencyBounds:
         def retired_non_barrier(mode):
             compiled = compiler.compile(module, mode=mode)
             result = GPUMachine(compiled.module).launch("k", 32)
-            barrier = result.profiler.barrier_issues
             return result.profiler.issued  # includes barrier ops
 
         # The 'none' mode has no barrier instructions at all, so issued

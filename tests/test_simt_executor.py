@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import DeadlockError, LaunchError, SimulationError
 from repro.frontend import compile_kernel_source
-from repro.ir import Function, IRBuilder, Module, Opcode
+from repro.ir import Function, IRBuilder, Module
 from repro.simt import GPUMachine, GlobalMemory
 
 
@@ -123,7 +123,7 @@ class TestMemoryOps:
 
 class TestControlFlow:
     def test_if_else(self):
-        values = run_expr("tid()")  # warm-up sanity
+        run_expr("tid()")  # warm-up sanity
         result = run_kernel(
             """
 kernel k() {

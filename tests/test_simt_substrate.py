@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.errors import SimulationError
 from repro.ir import Opcode
 from repro.simt import (
-    ALL_MEMBERS,
     BarrierFile,
     ConvergenceBarrier,
     CostModel,

@@ -88,7 +88,7 @@ class TestNoSpeculativeReconvergence:
         assert a.memory.snapshot() == b.memory.snapshot()
         assert a.simt_efficiency == pytest.approx(b.simt_efficiency)
         # ITS, in contrast, reacts to the barriers.
-        its_base = GPUMachine(base).launch("lm", 32, args=(128,))
+        GPUMachine(base).launch("lm", 32, args=(128,))
         its_sr = GPUMachine(sr).launch("lm", 32, args=(128,))
         assert its_sr.profiler.barrier_issues > 0
         assert a.memory.snapshot() == its_sr.memory.snapshot()

@@ -147,3 +147,99 @@ class TestTraceCLI:
     def test_unknown_workload_errors(self):
         with pytest.raises(Exception):
             trace_main(["no-such-workload"])
+
+
+class TestOptCLI:
+    """python -m repro.tools.opt: pipelines over textual IR."""
+
+    def test_list_passes(self, capsys):
+        from repro.tools.opt import main as opt_main
+
+        assert opt_main(["--list-passes"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines == sorted(lines)
+        assert any(line.startswith("pdom-sync") for line in lines)
+        assert any(line.startswith("deconflict") for line in lines)
+
+    def test_srk_input_mode_pipeline(self, divergent_file, capsys):
+        from repro.tools.opt import main as opt_main
+
+        assert opt_main([divergent_file, "--mode", "sr"]) == 0
+        out = capsys.readouterr().out
+        assert "func @d" in out
+        assert "bssy" in out  # barriers inserted
+
+    def test_textual_ir_round_trip(self, divergent_file, tmp_path, capsys):
+        from repro.tools.opt import main as opt_main
+
+        ir_path = tmp_path / "d.ir"
+        assert opt_main(
+            [divergent_file, "--pipeline", "strip-directives",
+             "-o", str(ir_path)]
+        ) == 0
+        assert opt_main(
+            [str(ir_path), "--pipeline", "pdom-sync,allocate,verify",
+             "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pipeline: pdom-sync,allocate,verify" in out
+        assert "span: pdom-sync" in out
+        assert "analysis cache:" in out
+
+    def test_record_and_bisect(self, divergent_file, tmp_path, capsys):
+        from repro.tools.opt import main as opt_main
+
+        trace_path = tmp_path / "trace.json"
+        assert opt_main(
+            [divergent_file, "--record-trace", str(trace_path)]
+        ) == 0
+        assert opt_main([divergent_file, "--bisect", str(trace_path)]) == 0
+        assert "agree" in capsys.readouterr().out
+        altered = (
+            "collect-predictions,pdom-sync,sr-insert,deconflict[static],"
+            "strip-directives,allocate,verify"
+        )
+        assert opt_main(
+            [divergent_file, "--pipeline", altered,
+             "--bisect", str(trace_path)]
+        ) == 1
+        assert "first divergence" in capsys.readouterr().out
+
+    def test_stop_after_and_report(self, divergent_file, capsys):
+        from repro.tools.opt import main as opt_main
+
+        assert opt_main(
+            [divergent_file, "--stop-after", "pdom-sync", "--report",
+             "--emit-ir"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "predict" in out  # directives still present mid-pipeline
+        assert "pipeline:" in out
+
+    def test_bad_pipeline_errors(self, divergent_file, capsys):
+        from repro.tools.opt import main as opt_main
+
+        assert opt_main(
+            [divergent_file, "--pipeline", "no-such-pass"]
+        ) == 1
+        assert "unknown pass" in capsys.readouterr().err
+
+
+class TestHarnessCLIFlags:
+    def test_list_passes(self, capsys):
+        from repro.harness.__main__ import main as harness_main
+
+        assert harness_main(["--list-passes"]) == 0
+        out = capsys.readouterr().out
+        assert "pdom-sync" in out and "allocate" in out
+
+    def test_pipeline_sets_env(self, monkeypatch):
+        from repro.harness.__main__ import main as harness_main
+
+        monkeypatch.delenv("REPRO_PIPELINE", raising=False)
+        # A bad description fails fast before any figure runs.
+        with pytest.raises(Exception):
+            harness_main(["--pipeline", "no-such-pass", "fig1"])
+        assert harness_main(["--pipeline", "strip-directives,verify",
+                             "--list-passes"]) == 0

@@ -1,7 +1,5 @@
 """Workload-runner CLI tests."""
 
-import pytest
-
 from repro.workloads.__main__ import main
 
 
