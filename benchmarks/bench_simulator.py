@@ -140,3 +140,64 @@ def test_fastpath_corpus_sweep_speedup(benchmark):
         f"corpus sweep speedup {speedup:.2f}x below the "
         f"{min_speedup:.1f}x floor"
     )
+
+
+def test_segment_corpus_sweep_speedup(benchmark):
+    """PR-level acceptance for segment fusion: >= 1.5x wall-clock on the
+    serial corpus sweep against the same engine with fusion off, with
+    bit-identical results.
+
+    Both sides run serial with the fast path and all caches warm, so the
+    ratio isolates exactly what this engine adds (fused superinstructions,
+    slot register files, batched profiling) and is independent of core
+    count — which is why CI's perf gate (benchmarks/compare.py) tracks
+    this benchmark rather than the fan-out one. The floor is tunable via
+    ``REPRO_BENCH_MIN_SEGMENT_SPEEDUP``; the measured value is written to
+    ``BENCH_segment_sweep.json``.
+    """
+    min_speedup = float(
+        os.environ.get("REPRO_BENCH_MIN_SEGMENT_SPEEDUP", "1.5")
+    )
+
+    from repro.simt.segments import segments_disabled
+
+    # Warm module/program/decode caches; also the reference results.
+    reference = _corpus_sweep()
+    fused_results = benchmark.pedantic(_corpus_sweep, rounds=3, iterations=1)
+    fused_time = benchmark.stats.stats.min
+
+    with segments_disabled():
+        unfused_times = []
+        unfused_results = None
+        for _ in range(3):
+            start = time.perf_counter()
+            unfused_results = _corpus_sweep()
+            unfused_times.append(time.perf_counter() - start)
+        unfused_time = min(unfused_times)
+
+    assert fused_results == reference
+    assert unfused_results == reference
+
+    speedup = unfused_time / fused_time
+    record = {
+        "benchmark": "segment_corpus_sweep",
+        "corpus": sorted(workload_names()),
+        "modes": ["baseline", "sr"],
+        "seed": _SEED,
+        "jobs": 1,
+        "fast_seconds": round(fused_time, 4),
+        "fast_seconds_mean": round(benchmark.stats.stats.mean, 4),
+        "slow_seconds": round(unfused_time, 4),
+        "speedup": round(speedup, 3),
+        "min_speedup_required": min_speedup,
+        "bit_identical": True,
+    }
+    (_REPO_ROOT / "BENCH_segment_sweep.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    print(f"\nsegment sweep: fused={fused_time:.2f}s unfused={unfused_time:.2f}s "
+          f"speedup={speedup:.2f}x (required {min_speedup:.1f}x)")
+    assert speedup >= min_speedup, (
+        f"segment sweep speedup {speedup:.2f}x below the "
+        f"{min_speedup:.1f}x floor"
+    )

@@ -1,0 +1,129 @@
+"""Compare a fresh benchmark run against the committed baseline.
+
+CI's perf-smoke job copies the committed ``BENCH_*.json`` files aside,
+re-runs the benchmarks (which rewrite the files in place), then calls::
+
+    python benchmarks/compare.py --baseline-dir .bench-baseline \
+        --fresh-dir . --tolerance 0.15 --only segment_corpus_sweep
+
+and fails the build when a fresh speedup falls more than ``--tolerance``
+below its committed baseline. Matching is by the record's ``"benchmark"``
+name; records present on only one side are reported but never fail the
+gate (a new benchmark has no baseline yet, and a retired one has no fresh
+run). ``--only`` restricts the gate to named benchmarks — used in CI to
+exclude runs whose fast configuration depends on runner core count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_records(directory):
+    """{benchmark name: record} for every BENCH_*.json in ``directory``."""
+    records = {}
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path}: {exc}")
+            continue
+        name = record.get("benchmark", path.stem.removeprefix("BENCH_"))
+        records[name] = record
+    return records
+
+
+def compare(baseline, fresh, tolerance, only=None):
+    """Returns (rows, failures). Each row is a printable comparison; a
+    failure is a row whose fresh speedup regressed past the tolerance."""
+    rows = []
+    failures = []
+    names = sorted(set(baseline) | set(fresh))
+    for name in names:
+        base = baseline.get(name)
+        new = fresh.get(name)
+        if base is None:
+            rows.append((name, None, _speedup(new), "no baseline (new)"))
+            continue
+        if new is None:
+            rows.append((name, _speedup(base), None, "no fresh run"))
+            continue
+        base_speedup = _speedup(base)
+        new_speedup = _speedup(new)
+        if base_speedup is None or new_speedup is None:
+            rows.append((name, base_speedup, new_speedup, "no speedup field"))
+            continue
+        gated = only is None or name in only
+        floor = base_speedup * (1.0 - tolerance)
+        if gated and new_speedup < floor:
+            status = (
+                f"REGRESSION: {new_speedup:.2f}x < "
+                f"{floor:.2f}x ({base_speedup:.2f}x - {tolerance:.0%})"
+            )
+            failures.append(name)
+        elif not gated:
+            status = "informational (not gated)"
+        else:
+            status = "ok"
+        rows.append((name, base_speedup, new_speedup, status))
+    return rows, failures
+
+
+def _speedup(record):
+    value = record.get("speedup")
+    return float(value) if value is not None else None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir", required=True,
+        help="directory holding the committed BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--fresh-dir", required=True,
+        help="directory holding the freshly generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="allowed fractional speedup drop before failing (default 0.15)",
+    )
+    parser.add_argument(
+        "--only", action="append", default=None, metavar="BENCHMARK",
+        help="gate only these benchmark names (repeatable); others are "
+             "compared but informational",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_records(args.baseline_dir)
+    fresh = load_records(args.fresh_dir)
+    if not baseline and not fresh:
+        print("no BENCH_*.json records found on either side")
+        return 1
+
+    rows, failures = compare(
+        baseline, fresh, args.tolerance,
+        only=set(args.only) if args.only else None,
+    )
+    width = max(len(name) for name, *_ in rows)
+    print(f"{'benchmark'.ljust(width)}  baseline     fresh     status")
+    for name, base_speedup, new_speedup, status in rows:
+        base_text = f"{base_speedup:.2f}x" if base_speedup is not None else "-"
+        new_text = f"{new_speedup:.2f}x" if new_speedup is not None else "-"
+        print(f"{name.ljust(width)}  {base_text:>8}  {new_text:>8}  {status}")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) regressed beyond "
+            f"{args.tolerance:.0%}: {', '.join(failures)}"
+        )
+        return 1
+    print("\nOK: no gated benchmark regressed beyond the tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

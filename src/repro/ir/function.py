@@ -24,6 +24,8 @@ class Function:
         self._reg_counter = 0
         self._block_counter = 0
         self.attrs = {}
+        # (token, {name: slot}) cache for reg_slots(); see below.
+        self._reg_slots = None
 
     # ------------------------------------------------------------------
     # Blocks
@@ -90,6 +92,40 @@ class Function:
                 regs.update(instr.defs())
                 regs.update(instr.uses())
         return regs
+
+    def reg_slots(self):
+        """Decode-time register allocation: name -> dense slot index.
+
+        Covers the parameters and every register defined or used anywhere
+        in the function, in first-appearance order (params first), so a
+        frame's register file can be a fixed-size list indexed by slot
+        instead of a name-keyed dict. Cached against a cheap structural
+        token; rebuilding blocks or minting new registers invalidates it.
+        In-place operand mutation is not tracked — passes run on clones,
+        the same contract the decode cache relies on.
+        """
+        token = (
+            len(self.blocks),
+            sum(len(block.instructions) for block in self.blocks),
+            self._reg_counter,
+        )
+        cached = self._reg_slots
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        slots = {}
+        for param in self.params:
+            if param.name not in slots:
+                slots[param.name] = len(slots)
+        for block in self.blocks:
+            for instr in block.instructions:
+                dst = instr.dst
+                if dst is not None and dst.name not in slots:
+                    slots[dst.name] = len(slots)
+                for operand in instr.uses():
+                    if operand.name not in slots:
+                        slots[operand.name] = len(slots)
+        self._reg_slots = (token, slots)
+        return slots
 
     # ------------------------------------------------------------------
     # CFG edges

@@ -12,6 +12,13 @@ from repro.simt.fastpath import (
     set_fastpath,
 )
 from repro.simt.machine import DEFAULT_MAX_ISSUES, GPUMachine, LaunchResult
+from repro.simt.segments import (
+    Segment,
+    SegmentTable,
+    segments_disabled,
+    segments_enabled,
+    set_segments,
+)
 from repro.simt.memory import GlobalMemory
 from repro.simt.profiler import BlockProfile, Profiler
 from repro.simt.rng import XorShift32, mix_seed
@@ -46,6 +53,8 @@ __all__ = [
     "Profiler",
     "RoundRobinScheduler",
     "SCHEDULERS",
+    "Segment",
+    "SegmentTable",
     "StackGPUMachine",
     "Thread",
     "ThreadState",
@@ -57,7 +66,10 @@ __all__ = [
     "fastpath_enabled",
     "make_scheduler",
     "mix_seed",
+    "segments_disabled",
+    "segments_enabled",
     "set_fastpath",
+    "set_segments",
     "run_reference_launch",
     "run_reference_thread",
 ]

@@ -15,6 +15,12 @@ Each warp owns a :class:`BarrierFile` mapping barrier names to
 
 Releases *clear the released threads' membership*: a thread that expects to
 wait again must re-join (the paper's ``RejoinBarrier``).
+
+Lane sets are stored as int bitmasks (lanes are 0..31, so membership tests,
+emptiness checks, and counts are single machine ops instead of hashed set
+operations — this state is touched on every issue slot's release drain).
+``members`` / ``parked`` remain available as set views for callers and
+tests that reason about lane sets.
 """
 
 from __future__ import annotations
@@ -25,60 +31,83 @@ from repro.errors import SimulationError
 ALL_MEMBERS = None
 
 
-class ConvergenceBarrier:
-    """Membership and parked sets for one named barrier."""
+def _mask_lanes(mask):
+    """The set of lane ids whose bits are set in ``mask``."""
+    lanes = set()
+    while mask:
+        low = mask & -mask
+        lanes.add(low.bit_length() - 1)
+        mask ^= low
+    return lanes
 
-    __slots__ = ("name", "members", "parked", "thresholds")
+
+class ConvergenceBarrier:
+    """Membership and parked lane bitmasks for one named barrier."""
+
+    __slots__ = ("name", "members_mask", "parked_mask", "thresholds")
 
     def __init__(self, name):
         self.name = name
-        self.members = set()      # lane ids that joined and have not cleared
-        self.parked = set()       # subset of members currently waiting
+        self.members_mask = 0     # lanes that joined and have not cleared
+        self.parked_mask = 0      # subset of members currently waiting
         self.thresholds = {}      # lane -> threshold (None for hard waits)
 
+    # Set views kept for observability and tests; the hot paths use the
+    # masks directly.
+    @property
+    def members(self):
+        return _mask_lanes(self.members_mask)
+
+    @property
+    def parked(self):
+        return _mask_lanes(self.parked_mask)
+
     def join(self, lane):
-        self.members.add(lane)
+        self.members_mask |= 1 << lane
 
     def withdraw(self, lane):
-        self.members.discard(lane)
-        self.parked.discard(lane)
+        keep = ~(1 << lane)
+        self.members_mask &= keep
+        self.parked_mask &= keep
         self.thresholds.pop(lane, None)
 
     def park(self, lane, threshold=ALL_MEMBERS):
-        if lane not in self.members:
+        if not (self.members_mask >> lane) & 1:
             # Waiting on a barrier you are not part of is a no-op in
             # hardware; the caller treats this as pass-through.
             return False
-        self.parked.add(lane)
+        self.parked_mask |= 1 << lane
         self.thresholds[lane] = threshold
         return True
 
     def releasable(self):
         """The set of lanes to release now, or empty set."""
-        if not self.parked:
+        parked = self.parked_mask
+        if not parked:
             return set()
-        if self.parked == self.members:
-            return set(self.parked)
+        if parked == self.members_mask:
+            return _mask_lanes(parked)
         soft = [t for t in self.thresholds.values() if t is not ALL_MEMBERS]
-        if soft and len(self.parked) >= min(soft):
-            return set(self.parked)
+        if soft and parked.bit_count() >= min(soft):
+            return _mask_lanes(parked)
         return set()
 
     def release(self, lanes):
         """Clear ``lanes`` out of the barrier (they proceed past their wait)."""
         for lane in lanes:
-            if lane not in self.parked:
+            bit = 1 << lane
+            if not self.parked_mask & bit:
                 raise SimulationError(
                     f"releasing lane {lane} not parked on barrier {self.name}"
                 )
-            self.members.discard(lane)
-            self.parked.discard(lane)
+            self.members_mask &= ~bit
+            self.parked_mask &= ~bit
             self.thresholds.pop(lane, None)
 
     @property
     def arrived_count(self):
         """arrivedThreads() of Figure 6: members that have joined."""
-        return len(self.members)
+        return self.members_mask.bit_count()
 
     def __repr__(self):
         return (
@@ -104,8 +133,9 @@ class BarrierFile:
         """Remove an exiting thread from every barrier; returns barriers
         whose release condition may have newly become true."""
         touched = []
+        bit = 1 << lane
         for barrier in self._barriers.values():
-            if lane in barrier.members or lane in barrier.parked:
+            if (barrier.members_mask | barrier.parked_mask) & bit:
                 barrier.withdraw(lane)
                 touched.append(barrier)
         return touched
@@ -121,10 +151,10 @@ class BarrierFile:
 
     def parked_anywhere(self):
         """All lanes parked on any barrier."""
-        lanes = set()
+        mask = 0
         for barrier in self._barriers.values():
-            lanes |= barrier.parked
-        return lanes
+            mask |= barrier.parked_mask
+        return _mask_lanes(mask)
 
     def barriers(self):
         return list(self._barriers.values())

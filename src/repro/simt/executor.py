@@ -91,7 +91,7 @@ class Executor:
     """Executes instructions for thread groups of one launch."""
 
     def __init__(self, module, memory, cost_model, profiler, sink=None,
-                 metrics=None, fastpath=None):
+                 metrics=None, fastpath=None, segments=None):
         self.module = module
         self.memory = memory
         self.cost_model = cost_model
@@ -115,6 +115,23 @@ class Executor:
             fastpath = _fastpath.FASTPATH_ENABLED
         self._decoded = (
             _fastpath.decode_program(module, cost_model) if fastpath else None
+        )
+        # Segment fusion (repro.simt.segments): only legal on the decoded
+        # path with no per-issue observers — an attached sink, stall
+        # metrics, or an issue trace all need to see every individual slot,
+        # so any of them forces per-instruction issue. ``segments=None``
+        # defers to the global REPRO_SEGMENTS default.
+        from repro.simt import segments as _segments
+
+        if segments is None:
+            segments = _segments.SEGMENTS_ENABLED
+        self.segment_at = (
+            self._decoded.segment_at
+            if segments
+            and self._decoded is not None
+            and not self.observing
+            and profiler.trace is None
+            else None
         )
         # Program order for scheduler tie-breaking and fetches.
         self._block_pos = {
@@ -163,17 +180,7 @@ class Executor:
             entry = decoded.entry(pc)
             instr = entry.instr
             opcode = entry.opcode
-            try:
-                cycles = entry.run(self, warp, group)
-            except KeyError as exc:
-                # Decoded handlers read registers with a bare dict lookup;
-                # memory and barriers never raise KeyError, so this can only
-                # be an undefined register (Frame.read's diagnostic).
-                reg = exc.args[0] if exc.args else None
-                raise SimulationError(
-                    f"read of undefined register %{getattr(reg, 'name', reg)} "
-                    f"in @{pc[0]}/{pc[1]}"
-                ) from None
+            cycles = entry.run(self, warp, group)
             # Lets the machine keep a converged warp's group across issues.
             self.issued_uniform = entry.uniform
             is_barrier_op = entry.is_barrier_op

@@ -7,12 +7,15 @@ paid once per issue slot, of which a single sweep point executes millions.
 
 This module flattens each basic block once into a dense tuple of
 :class:`DecodedInstruction` records. Decoding interns the operands (each
-closure captures the exact ``Reg``/``Imm``/``Barrier`` object it needs),
-pre-resolves branch targets and call entry points to plain strings and
-function objects, pre-binds the arithmetic eval function, and freezes the
-static issue latency from the cost model. The warp issue loop then becomes
-a table lookup plus one specialized closure call per issue — no opcode
-comparisons, no operand classification.
+closure captures exactly what it needs), pre-resolves branch targets and
+call entry points to plain strings and function objects, pre-binds the
+arithmetic eval function, and freezes the static issue latency from the
+cost model. Register operands resolve at decode time to *slot indices* in
+the owning function's register allocation
+(:meth:`repro.ir.function.Function.reg_slots`), so a register access in a
+decoded handler is a single C-speed list index — no name hashing at all.
+The warp issue loop then becomes a table lookup plus one specialized
+closure call per issue.
 
 Semantics are **bit-identical** to the slow path by construction: every
 closure body is a line-for-line specialization of the corresponding
@@ -28,6 +31,11 @@ weakly by module identity and validated against a structural token
 appending blocks invalidates stale entries. In-place mutation of an
 existing instruction's operands is *not* tracked; compiler passes always
 run on clones before launch, which is why this is safe.
+
+On top of the per-instruction decode, :meth:`DecodedProgram.segment_at`
+exposes the block's straight-line *segments* for the fused execution layer
+(:mod:`repro.simt.segments`); segment tables are built lazily per block,
+so machines that never fuse pay nothing.
 
 The fast path is on by default. ``REPRO_FASTPATH=0`` (or
 :func:`set_fastpath`/:func:`fastpath_disabled`) falls back to the
@@ -50,6 +58,7 @@ from repro.simt.executor import (
     _UNIFORM_OPS,
     _WARPSYNC_BARRIER,
 )
+from repro.simt.segments import SegmentTable
 from repro.simt.warp import Frame
 
 __all__ = [
@@ -96,14 +105,14 @@ def fastpath_disabled():
 # ---------------------------------------------------------------------------
 # Operand access: interned closures instead of per-issue isinstance checks
 # ---------------------------------------------------------------------------
-def _getter(operand):
+def _getter(operand, slots):
     """A ``thread -> value`` accessor mirroring ``Executor._value``."""
     if isinstance(operand, Imm):
         value = operand.value
         return lambda thread: value
     if isinstance(operand, Reg):
-        def read(thread, _name=operand.name):
-            return thread.frames[-1].regs[_name]
+        def read(thread, _slot=slots[operand.name]):
+            return thread.frames[-1].regs[_slot]
 
         return read
     if isinstance(operand, Barrier):
@@ -112,12 +121,12 @@ def _getter(operand):
     raise SimulationError(f"cannot evaluate operand {operand!r}")
 
 
-def _barrier_getter(operand):
+def _barrier_getter(operand, slots):
     """A ``thread -> barrier name`` accessor (literal or barrier register)."""
     if isinstance(operand, Barrier):
         name = operand.name
         return lambda thread: name
-    get = _getter(operand)
+    get = _getter(operand, slots)
 
     def resolve(thread):
         name = get(thread)
@@ -154,45 +163,45 @@ class DecodedInstruction:
 # ---------------------------------------------------------------------------
 # Per-opcode specializations
 # ---------------------------------------------------------------------------
-def _decode_binary(instr, latency):
+def _decode_binary(instr, latency, slots):
     fn = _BINARY_EVAL[instr.opcode]
-    dst = instr.dst.name
+    dst = slots[instr.dst.name]
     a, b = instr.operands
     if isinstance(a, Reg) and isinstance(b, Reg):
-        an, bn = a.name, b.name
+        sa, sb = slots[a.name], slots[b.name]
 
         def run(executor, warp, group):
             for thread in group:
                 frame = thread.frames[-1]
                 regs = frame.regs
-                regs[dst] = fn(regs[an], regs[bn])
+                regs[dst] = fn(regs[sa], regs[sb])
                 frame.index += 1
             return latency
 
     elif isinstance(a, Reg) and isinstance(b, Imm):
-        an, bv = a.name, b.value
+        sa, bv = slots[a.name], b.value
 
         def run(executor, warp, group):
             for thread in group:
                 frame = thread.frames[-1]
                 regs = frame.regs
-                regs[dst] = fn(regs[an], bv)
+                regs[dst] = fn(regs[sa], bv)
                 frame.index += 1
             return latency
 
     elif isinstance(a, Imm) and isinstance(b, Reg):
-        av, bn = a.value, b.name
+        av, sb = a.value, slots[b.name]
 
         def run(executor, warp, group):
             for thread in group:
                 frame = thread.frames[-1]
                 regs = frame.regs
-                regs[dst] = fn(av, regs[bn])
+                regs[dst] = fn(av, regs[sb])
                 frame.index += 1
             return latency
 
     else:
-        get_a, get_b = _getter(a), _getter(b)
+        get_a, get_b = _getter(a, slots), _getter(b, slots)
 
         def run(executor, warp, group):
             for thread in group:
@@ -204,12 +213,12 @@ def _decode_binary(instr, latency):
     return run
 
 
-def _decode_unary(instr, latency):
+def _decode_unary(instr, latency, slots):
     fn = _UNARY_EVAL[instr.opcode]
-    dst = instr.dst.name
+    dst = slots[instr.dst.name]
     operand = instr.operands[0]
     if isinstance(operand, Reg):
-        src = operand.name
+        src = slots[operand.name]
 
         def run(executor, warp, group):
             for thread in group:
@@ -220,7 +229,7 @@ def _decode_unary(instr, latency):
             return latency
 
     else:
-        get = _getter(operand)
+        get = _getter(operand, slots)
 
         def run(executor, warp, group):
             for thread in group:
@@ -232,8 +241,8 @@ def _decode_unary(instr, latency):
     return run
 
 
-def _decode_const(instr, latency):
-    dst = instr.dst.name
+def _decode_const(instr, latency, slots):
+    dst = slots[instr.dst.name]
     value = instr.operands[0].value
 
     def run(executor, warp, group):
@@ -246,11 +255,11 @@ def _decode_const(instr, latency):
     return run
 
 
-def _decode_sel(instr, latency):
-    dst = instr.dst.name
-    get_pred = _getter(instr.operands[0])
-    get_true = _getter(instr.operands[1])
-    get_false = _getter(instr.operands[2])
+def _decode_sel(instr, latency, slots):
+    dst = slots[instr.dst.name]
+    get_pred = _getter(instr.operands[0], slots)
+    get_true = _getter(instr.operands[1], slots)
+    get_false = _getter(instr.operands[2], slots)
 
     def run(executor, warp, group):
         for thread in group:
@@ -267,34 +276,36 @@ def _decode_sel(instr, latency):
     return run
 
 
-def _decode_fma(instr, latency):
-    dst = instr.dst.name
+def _decode_fma(instr, latency, slots):
+    dst = slots[instr.dst.name]
     a, b, c = instr.operands
     if isinstance(a, Reg) and isinstance(b, Imm) and isinstance(c, Imm):
         # The dominant shape in the Table 2 kernels: acc = fma(acc, k1, k2).
-        an, bv, cv = a.name, b.value, c.value
+        sa, bv, cv = slots[a.name], b.value, c.value
 
         def run(executor, warp, group):
             for thread in group:
                 frame = thread.frames[-1]
                 regs = frame.regs
-                regs[dst] = regs[an] * bv + cv
+                regs[dst] = regs[sa] * bv + cv
                 frame.index += 1
             return latency
 
     elif isinstance(a, Reg) and isinstance(b, Reg) and isinstance(c, Reg):
-        an, bn, cn = a.name, b.name, c.name
+        sa, sb, sc = slots[a.name], slots[b.name], slots[c.name]
 
         def run(executor, warp, group):
             for thread in group:
                 frame = thread.frames[-1]
                 regs = frame.regs
-                regs[dst] = regs[an] * regs[bn] + regs[cn]
+                regs[dst] = regs[sa] * regs[sb] + regs[sc]
                 frame.index += 1
             return latency
 
     else:
-        get_a, get_b, get_c = _getter(a), _getter(b), _getter(c)
+        get_a = _getter(a, slots)
+        get_b = _getter(b, slots)
+        get_c = _getter(c, slots)
 
         def run(executor, warp, group):
             for thread in group:
@@ -308,8 +319,8 @@ def _decode_fma(instr, latency):
     return run
 
 
-def _decode_identity(instr, latency, attr):
-    dst = instr.dst.name
+def _decode_identity(instr, latency, slots, attr):
+    dst = slots[instr.dst.name]
 
     def run(executor, warp, group):
         for thread in group:
@@ -321,8 +332,8 @@ def _decode_identity(instr, latency, attr):
     return run
 
 
-def _decode_rand(instr, latency):
-    dst = instr.dst.name
+def _decode_rand(instr, latency, slots):
+    dst = slots[instr.dst.name]
 
     def run(executor, warp, group):
         for thread in group:
@@ -334,9 +345,9 @@ def _decode_rand(instr, latency):
     return run
 
 
-def _decode_ld(instr, cost_model):
-    dst = instr.dst.name
-    get_addr = _getter(instr.operands[0])
+def _decode_ld(instr, cost_model, slots):
+    dst = slots[instr.dst.name]
+    get_addr = _getter(instr.operands[0], slots)
     memory_cost = cost_model.memory_cost
 
     def run(executor, warp, group):
@@ -354,9 +365,9 @@ def _decode_ld(instr, cost_model):
     return run
 
 
-def _decode_st(instr, cost_model):
-    get_addr = _getter(instr.operands[0])
-    get_value = _getter(instr.operands[1])
+def _decode_st(instr, cost_model, slots):
+    get_addr = _getter(instr.operands[0], slots)
+    get_value = _getter(instr.operands[1], slots)
     memory_cost = cost_model.memory_cost
 
     def run(executor, warp, group):
@@ -375,10 +386,10 @@ def _decode_st(instr, cost_model):
     return run
 
 
-def _decode_atomadd(instr, cost_model):
-    dst = instr.dst.name
-    get_addr = _getter(instr.operands[0])
-    get_value = _getter(instr.operands[1])
+def _decode_atomadd(instr, cost_model, slots):
+    dst = slots[instr.dst.name]
+    get_addr = _getter(instr.operands[0], slots)
+    get_value = _getter(instr.operands[1], slots)
     memory_cost = cost_model.memory_cost
 
     def run(executor, warp, group):
@@ -397,7 +408,7 @@ def _decode_atomadd(instr, cost_model):
     return run
 
 
-def _decode_bra(instr, latency):
+def _decode_bra(instr, latency, slots):
     target = instr.operands[0].name
 
     def run(executor, warp, group):
@@ -410,8 +421,8 @@ def _decode_bra(instr, latency):
     return run
 
 
-def _decode_cbr(instr, latency):
-    get_pred = _getter(instr.operands[0])
+def _decode_cbr(instr, latency, slots):
+    get_pred = _getter(instr.operands[0], slots)
     true_target = instr.operands[1].name
     false_target = instr.operands[2].name
 
@@ -427,11 +438,13 @@ def _decode_cbr(instr, latency):
     return run
 
 
-def _decode_call(instr, latency, module):
+def _decode_call(instr, latency, slots, module):
     callee = module.function(instr.operands[0].name)
     entry_name = callee.entry.name
-    params = [p.name for p in callee.params]
-    getters = [_getter(arg) for arg in instr.operands[1:]]
+    # Callee registers resolve in the *callee's* slot space; the argument
+    # getters resolve in the caller's.
+    param_slots = [callee.reg_slots()[p.name] for p in callee.params]
+    getters = [_getter(arg, slots) for arg in instr.operands[1:]]
     # ret_dst stays a Reg: Frame linkage writes it back via Frame.write.
     ret_dst = instr.dst
 
@@ -441,15 +454,15 @@ def _decode_call(instr, latency, module):
             frame = Frame(callee, entry_name, ret_dst=ret_dst)
             thread.frames.append(frame)
             regs = frame.regs
-            for param, value in zip(params, values):
-                regs[param] = value
+            for slot, value in zip(param_slots, values):
+                regs[slot] = value
         return latency
 
     return run
 
 
-def _decode_ret(instr, latency):
-    get_value = _getter(instr.operands[0]) if instr.operands else None
+def _decode_ret(instr, latency, slots):
+    get_value = _getter(instr.operands[0], slots) if instr.operands else None
 
     def run(executor, warp, group):
         for thread in group:
@@ -471,8 +484,8 @@ def _decode_exit(instr, latency):
     return run
 
 
-def _decode_bssy(instr, latency):
-    get_name = _barrier_getter(instr.operands[0])
+def _decode_bssy(instr, latency, slots):
+    get_name = _barrier_getter(instr.operands[0], slots)
 
     def run(executor, warp, group):
         barriers = warp.barriers
@@ -484,8 +497,8 @@ def _decode_bssy(instr, latency):
     return run
 
 
-def _decode_bsync(instr, latency):
-    get_name = _barrier_getter(instr.operands[0])
+def _decode_bsync(instr, latency, slots):
+    get_name = _barrier_getter(instr.operands[0], slots)
 
     def run(executor, warp, group):
         barriers = warp.barriers
@@ -500,9 +513,9 @@ def _decode_bsync(instr, latency):
     return run
 
 
-def _decode_bsyncsoft(instr, latency):
-    get_name = _barrier_getter(instr.operands[0])
-    get_threshold = _getter(instr.operands[1])
+def _decode_bsyncsoft(instr, latency, slots):
+    get_name = _barrier_getter(instr.operands[0], slots)
+    get_threshold = _getter(instr.operands[1], slots)
 
     def run(executor, warp, group):
         barriers = warp.barriers
@@ -520,8 +533,8 @@ def _decode_bsyncsoft(instr, latency):
     return run
 
 
-def _decode_bbreak(instr, latency):
-    get_name = _barrier_getter(instr.operands[0])
+def _decode_bbreak(instr, latency, slots):
+    get_name = _barrier_getter(instr.operands[0], slots)
 
     def run(executor, warp, group):
         barriers = warp.barriers
@@ -533,9 +546,9 @@ def _decode_bbreak(instr, latency):
     return run
 
 
-def _decode_bmov(instr, latency):
-    dst = instr.dst.name
-    get_name = _barrier_getter(instr.operands[0])
+def _decode_bmov(instr, latency, slots):
+    dst = slots[instr.dst.name]
+    get_name = _barrier_getter(instr.operands[0], slots)
 
     def run(executor, warp, group):
         for thread in group:
@@ -547,9 +560,9 @@ def _decode_bmov(instr, latency):
     return run
 
 
-def _decode_barcnt(instr, latency):
-    dst = instr.dst.name
-    get_name = _barrier_getter(instr.operands[0])
+def _decode_barcnt(instr, latency, slots):
+    dst = slots[instr.dst.name]
+    get_name = _barrier_getter(instr.operands[0], slots)
 
     def run(executor, warp, group):
         barriers = warp.barriers
@@ -606,56 +619,60 @@ def _decode_unhandled(instr):
     return run
 
 
-def _decode_instruction(instr, cost_model, module):
-    """Build the specialized handler for one instruction."""
+def _decode_instruction(instr, cost_model, module, slots):
+    """Build the specialized handler for one instruction.
+
+    ``slots`` is the owning function's register allocation; every register
+    operand is resolved to its slot index here, at decode time.
+    """
     opcode = instr.opcode
     latency = cost_model.latency(opcode)
     if opcode in _BINARY_EVAL:
-        run = _decode_binary(instr, latency)
+        run = _decode_binary(instr, latency, slots)
     elif opcode in _UNARY_EVAL:
-        run = _decode_unary(instr, latency)
+        run = _decode_unary(instr, latency, slots)
     elif opcode is Opcode.CONST:
-        run = _decode_const(instr, latency)
+        run = _decode_const(instr, latency, slots)
     elif opcode is Opcode.SEL:
-        run = _decode_sel(instr, latency)
+        run = _decode_sel(instr, latency, slots)
     elif opcode is Opcode.FMA:
-        run = _decode_fma(instr, latency)
+        run = _decode_fma(instr, latency, slots)
     elif opcode is Opcode.TID:
-        run = _decode_identity(instr, latency, "tid")
+        run = _decode_identity(instr, latency, slots, "tid")
     elif opcode is Opcode.LANE:
-        run = _decode_identity(instr, latency, "lane")
+        run = _decode_identity(instr, latency, slots, "lane")
     elif opcode is Opcode.WARPID:
-        run = _decode_identity(instr, latency, "warp_id")
+        run = _decode_identity(instr, latency, slots, "warp_id")
     elif opcode is Opcode.RAND:
-        run = _decode_rand(instr, latency)
+        run = _decode_rand(instr, latency, slots)
     elif opcode is Opcode.LD:
-        run = _decode_ld(instr, cost_model)
+        run = _decode_ld(instr, cost_model, slots)
     elif opcode is Opcode.ST:
-        run = _decode_st(instr, cost_model)
+        run = _decode_st(instr, cost_model, slots)
     elif opcode is Opcode.ATOMADD:
-        run = _decode_atomadd(instr, cost_model)
+        run = _decode_atomadd(instr, cost_model, slots)
     elif opcode is Opcode.BRA:
-        run = _decode_bra(instr, latency)
+        run = _decode_bra(instr, latency, slots)
     elif opcode is Opcode.CBR:
-        run = _decode_cbr(instr, latency)
+        run = _decode_cbr(instr, latency, slots)
     elif opcode is Opcode.CALL:
-        run = _decode_call(instr, latency, module)
+        run = _decode_call(instr, latency, slots, module)
     elif opcode is Opcode.RET:
-        run = _decode_ret(instr, latency)
+        run = _decode_ret(instr, latency, slots)
     elif opcode is Opcode.EXIT:
         run = _decode_exit(instr, latency)
     elif opcode is Opcode.BSSY:
-        run = _decode_bssy(instr, latency)
+        run = _decode_bssy(instr, latency, slots)
     elif opcode is Opcode.BSYNC:
-        run = _decode_bsync(instr, latency)
+        run = _decode_bsync(instr, latency, slots)
     elif opcode is Opcode.BSYNCSOFT:
-        run = _decode_bsyncsoft(instr, latency)
+        run = _decode_bsyncsoft(instr, latency, slots)
     elif opcode is Opcode.BBREAK:
-        run = _decode_bbreak(instr, latency)
+        run = _decode_bbreak(instr, latency, slots)
     elif opcode is Opcode.BMOV:
-        run = _decode_bmov(instr, latency)
+        run = _decode_bmov(instr, latency, slots)
     elif opcode is Opcode.BARCNT:
-        run = _decode_barcnt(instr, latency)
+        run = _decode_barcnt(instr, latency, slots)
     elif opcode is Opcode.WARPSYNC:
         run = _decode_warpsync(instr, latency)
     elif opcode in (Opcode.NOP, Opcode.PREDICT):
@@ -674,14 +691,16 @@ class DecodedProgram:
     """All decoded blocks of one module under one cost model.
 
     Blocks decode lazily on first execution, so modules with unexecuted
-    functions pay nothing for them. ``entry(pc)`` is the per-issue lookup.
+    functions pay nothing for them. ``entry(pc)`` is the per-issue lookup;
+    ``segment_at(pc)`` is the fused layer's segment lookup.
     """
 
     def __init__(self, module, cost_model):
         self.module = module
         self.cost_model = cost_model
         self.token = structure_token(module)
-        self._blocks = {}  # (function name, block name) -> tuple of decoded
+        self._blocks = {}    # (function name, block name) -> tuple of decoded
+        self._segments = {}  # (function name, block name) -> SegmentTable
 
     def entry(self, pc):
         """The :class:`DecodedInstruction` at ``pc``."""
@@ -696,11 +715,30 @@ class DecodedProgram:
             )
         return entries[index]
 
+    def segment_at(self, pc):
+        """The :class:`~repro.simt.segments.Segment` starting at ``pc``, or
+        None when no fusable segment (length >= 2) starts there."""
+        function, block, index = pc
+        table = self._segments.get((function, block))
+        if table is None:
+            entries = self._blocks.get((function, block))
+            if entries is None:
+                entries = self._decode_block(function, block)
+            table = SegmentTable(
+                function,
+                block,
+                entries,
+                self.module.function(function).reg_slots(),
+            )
+            self._segments[(function, block)] = table
+        return table.at(index)
+
     def _decode_block(self, function, block):
-        instructions = self.module.function(function).block(block).instructions
+        fn = self.module.function(function)
+        slots = fn.reg_slots()
         entries = tuple(
-            _decode_instruction(instr, self.cost_model, self.module)
-            for instr in instructions
+            _decode_instruction(instr, self.cost_model, self.module, slots)
+            for instr in fn.block(block).instructions
         )
         self._blocks[(function, block)] = entries
         return entries

@@ -74,6 +74,7 @@ class GPUMachine:
         sink=None,
         metrics=False,
         fastpath=None,
+        segments=None,
     ):
         self.module = module
         self.cost_model = cost_model or DEFAULT_COST_MODEL
@@ -82,6 +83,8 @@ class GPUMachine:
         self.max_issues = max_issues
         # None defers to the global repro.simt.fastpath default.
         self.fastpath = fastpath
+        # None defers to the global repro.simt.segments default.
+        self.segments = segments
         # Observability, all off by default (the fast path stays
         # allocation-free): ``trace`` records cycle-stamped IssueEvents for
         # timeline rendering, ``sink`` streams every event kind to a
@@ -108,6 +111,7 @@ class GPUMachine:
         executor = Executor(
             self.module, memory, self.cost_model, profiler,
             sink=self.sink, metrics=metrics, fastpath=self.fastpath,
+            segments=self.segments,
         )
         scheduler = make_scheduler(self.scheduler_name)
 
@@ -125,6 +129,14 @@ class GPUMachine:
         issues = 0
         live_warps = list(warps)
         while live_warps:
+            if len(live_warps) == 1 and executor.segment_at is not None:
+                # Exactly one live warp (single-warp launch, or the tail of
+                # a multi-warp one): nothing can interleave with it, so
+                # segment fusion cannot perturb cross-warp memory order.
+                self._run_exclusive(
+                    live_warps[0], executor, scheduler, issues, kernel_name
+                )
+                break
             progressed = []
             for warp in live_warps:
                 if self._step(warp, executor, scheduler):
@@ -145,6 +157,76 @@ class GPUMachine:
             memory=memory,
             threads=all_threads,
         )
+
+    # ------------------------------------------------------------------
+    def _run_exclusive(self, warp, executor, scheduler, issues, kernel_name):
+        """Run the last live warp to completion with segment fusion.
+
+        Fusion fires only when three proofs hold at once: the scheduler's
+        pick is *forced* for the whole run (``forced_pick``), a fusable
+        segment starts at that PC (``executor.segment_at``), and no other
+        group sits inside the segment (``Segment.conflicts``). Everything
+        else falls through to the ordinary per-instruction ``_step`` —
+        including draining, deadlock detection, and warp completion — so
+        the fused schedule is pick-for-pick identical to the slow one.
+        """
+        segment_at = executor.segment_at
+        program_order = executor.program_order
+        profiler = executor.profiler
+        max_issues = self.max_issues
+        while not warp.done:
+            groups = warp.groups_cache
+            if groups is None:
+                groups = warp.groups()
+            if groups:
+                pc = scheduler.forced_pick(groups, program_order)
+                if pc is not None:
+                    segment = segment_at(pc)
+                    if segment is not None and (
+                        len(groups) == 1 or not segment.conflicts(groups)
+                    ):
+                        group = groups[pc]
+                        cycles = segment.execute(executor, warp, group)
+                        n = segment.n
+                        scheduler.consume(n)
+                        for thread in group:
+                            thread.retired += n
+                        profiler.record_segment(
+                            warp.warp_id, pc, segment, len(group), cycles
+                        )
+                        warp.cycles += cycles
+                        issues += n
+                        if issues > max_issues:
+                            raise LaunchError(
+                                f"@{kernel_name} exceeded {max_issues} issue "
+                                "slots; likely an infinite loop"
+                            )
+                        # Segment ops cannot park, release, or split, so
+                        # the other groups are untouched: patch the issued
+                        # bucket over to end_pc exactly as _step's uniform
+                        # carry-over would have, one instruction at a time.
+                        del groups[pc]
+                        end_pc = segment.end_pc
+                        resident = groups.get(end_pc)
+                        if resident is None:
+                            groups[end_pc] = group
+                        else:
+                            resident.extend(group)
+                            resident.sort(key=_by_lane)
+                        warp.groups_cache = groups
+                        continue
+            # No fusable forced pick here: hand the grouping to _step (an
+            # empty dict still routes through its drain/done/deadlock
+            # logic) and issue one instruction the ordinary way.
+            warp.groups_cache = groups
+            if self._step(warp, executor, scheduler):
+                issues += 1
+                if issues > max_issues:
+                    raise LaunchError(
+                        f"@{kernel_name} exceeded {max_issues} issue "
+                        "slots; likely an infinite loop"
+                    )
+        return issues
 
     # ------------------------------------------------------------------
     def _step(self, warp, executor, scheduler):

@@ -38,6 +38,11 @@ class Profiler:
         self.block_profiles = {}    # (function, block) -> BlockProfile
         self.warp_cycles = {}       # warp_id -> cycles
         self.barrier_issues = 0
+        #: issue slots retired through fused segments and the number of
+        #: segments executed (diagnostics only — deliberately NOT part of
+        #: summary(), which must be invariant under fusion).
+        self.fused_issues = 0
+        self.fused_segments = 0
         #: when tracing, every issue as a cycle-stamped IssueEvent (which
         #: unpacks as the legacy ``(warp_id, function, block, lanes)`` tuple)
         self.trace = [] if trace else None
@@ -78,6 +83,33 @@ class Profiler:
         self.warp_cycles[warp_id] = self.warp_cycles.get(warp_id, 0) + cycles
         if is_barrier_op:
             self.barrier_issues += 1
+
+    def record_segment(self, warp_id, pc, segment, active, cycles):
+        """Batched accounting for one fused segment: exactly what ``n``
+        per-instruction ``record`` calls would have accumulated, in O(1)
+        per counter. Segments never contain barrier ops, and fusion is
+        disabled while tracing, so neither path appears here.
+        """
+        n = segment.n
+        self.issued += n
+        self.active_sum += active * n
+        self.cycles_sum += cycles
+        counts = self.opcode_counts
+        for opcode, count in segment.opcode_counts:
+            counts[opcode] = counts.get(opcode, 0) + count
+        key = (pc[0], pc[1])
+        profile = self.block_profiles.get(key)
+        if profile is None:
+            profile = BlockProfile()
+            self.block_profiles[key] = profile
+        profile.issues += n
+        profile.active_sum += active * n
+        profile.cycles += cycles
+        if pc[2] == 0:
+            profile.visits += 1
+        self.warp_cycles[warp_id] = self.warp_cycles.get(warp_id, 0) + cycles
+        self.fused_issues += n
+        self.fused_segments += 1
 
     @property
     def simt_efficiency(self):

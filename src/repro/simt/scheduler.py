@@ -28,6 +28,30 @@ class SchedulerBase:
         """
         raise NotImplementedError
 
+    def forced_pick(self, groups, program_order):
+        """The PC this policy is *guaranteed* to pick for the next issue —
+        and to keep picking while that group advances through a fusable
+        segment — or None when the pick depends on state a fused run would
+        change.
+
+        The base answer is conservative: only a single group is forced
+        (there is nothing else to pick, and that stays true while the group
+        advances, since fusable ops cannot split it or wake other lanes).
+        Policies whose key cannot flip mid-segment may widen this. Used by
+        the segment-fusion engine (:mod:`repro.simt.segments`); must err on
+        the side of None — a wrong non-None answer changes issue order.
+        """
+        if len(groups) == 1:
+            return next(iter(groups))
+        return None
+
+    def consume(self, n):
+        """Account for ``n`` issue slots granted without calling ``pick``
+        (a fused segment). Stateless policies ignore this; stateful ones
+        (round-robin) advance their internal position as if ``pick`` had
+        run ``n`` times.
+        """
+
 
 class ConvergenceScheduler(SchedulerBase):
     """Largest group first; ties broken by program order then lowest lane."""
@@ -44,6 +68,27 @@ class ConvergenceScheduler(SchedulerBase):
             return (-len(threads), program_order(pc), threads[0].lane)
 
         return min(groups, key=key)
+
+    def forced_pick(self, groups, program_order):
+        # A *strictly* largest group wins regardless of program order or
+        # lane, and fusable ops can change neither its size nor any other
+        # group's, so the pick stays forced for a whole segment. A size tie
+        # is not forced: the tiebreak reads program_order(pc), which moves
+        # as the fused group advances.
+        if len(groups) == 1:
+            return next(iter(groups))
+        best = None
+        best_len = -1
+        tie = False
+        for pc, threads in groups.items():
+            size = len(threads)
+            if size > best_len:
+                best = pc
+                best_len = size
+                tie = False
+            elif size == best_len:
+                tie = True
+        return None if tie else best
 
 
 class OldestFirstScheduler(SchedulerBase):
@@ -70,6 +115,19 @@ class RoundRobinScheduler(SchedulerBase):
         choice = ordered[self._counter % len(ordered)]
         self._counter += 1
         return choice
+
+    def forced_pick(self, groups, program_order):
+        # Only a singleton is forced (the base answer), but even then the
+        # counter must advance per slot — see consume().
+        if len(groups) == 1:
+            return next(iter(groups))
+        return None
+
+    def consume(self, n):
+        # pick() on a singleton group would have incremented the counter
+        # once per issue; a fused run of n slots must advance it by n so
+        # the rotation phase matches the per-instruction schedule.
+        self._counter += n
 
 
 SCHEDULERS = {

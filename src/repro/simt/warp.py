@@ -24,36 +24,78 @@ class ThreadState(enum.Enum):
     EXITED = "exited"
 
 
-class Frame:
-    """One activation record: function, PC, registers, return linkage."""
+class _Undef:
+    """Fill value of fresh register files.
 
-    __slots__ = ("function", "fname", "block_name", "index", "regs", "ret_dst")
+    Slot-indexed register files cannot signal an undefined read with a
+    KeyError the way name-keyed dicts did, so unwritten slots hold this
+    sentinel instead: any attempt to *compute* with it (arithmetic,
+    comparison, coercion) raises :class:`SimulationError`, preserving the
+    undefined-register diagnostic without a per-read branch on the hot
+    path. Verified programs never read an unwritten slot, so the sentinel
+    is inert in practice.
+    """
+
+    __slots__ = ()
+
+    def _undefined(self, *_args):
+        raise SimulationError(
+            "use of undefined register value (read before any write)"
+        )
+
+    __add__ = __radd__ = __sub__ = __rsub__ = _undefined
+    __mul__ = __rmul__ = __truediv__ = __rtruediv__ = _undefined
+    __mod__ = __rmod__ = __floordiv__ = __rfloordiv__ = _undefined
+    __and__ = __rand__ = __or__ = __ror__ = __xor__ = __rxor__ = _undefined
+    __lshift__ = __rlshift__ = __rshift__ = __rrshift__ = _undefined
+    __lt__ = __le__ = __gt__ = __ge__ = __eq__ = __ne__ = _undefined
+    __neg__ = __pos__ = __abs__ = __invert__ = _undefined
+    __int__ = __float__ = __index__ = __bool__ = __floor__ = _undefined
+    __hash__ = None
+
+    def __repr__(self):
+        return "<undef>"
+
+
+#: The shared undefined-register sentinel (one instance, compared by ``is``).
+UNDEF = _Undef()
+
+
+class Frame:
+    """One activation record: function, PC, registers, return linkage.
+
+    The register file is a fixed-size list indexed by the function's
+    decode-time slot allocation (:meth:`repro.ir.function.Function.reg_slots`)
+    — a C-speed list index per access instead of a hashed dict lookup.
+    """
+
+    __slots__ = ("function", "fname", "block_name", "index", "regs", "slots",
+                 "ret_dst")
 
     def __init__(self, function, block_name, index=0, ret_dst=None):
         self.function = function
         self.fname = function.name  # cached: read once per issue per lane
         self.block_name = block_name
         self.index = index
-        self.regs = {}
+        slots = function.reg_slots()
+        self.slots = slots
+        self.regs = [UNDEF] * len(slots)
         self.ret_dst = ret_dst
 
     def pc(self):
-        return (self.function.name, self.block_name, self.index)
+        return (self.fname, self.block_name, self.index)
 
-    # ``regs`` is keyed by register *name* rather than Reg: a Reg is a
-    # single-field name wrapper (equality and hash are the name's), so the
-    # mapping is identical, but string keys hash in C on every lookup.
     def read(self, reg):
-        try:
-            return self.regs[reg.name]
-        except KeyError:
+        value = self.regs[self.slots[reg.name]]
+        if value is UNDEF:
             raise SimulationError(
                 f"read of undefined register %{reg.name} "
-                f"in @{self.function.name}/{self.block_name}"
-            ) from None
+                f"in @{self.fname}/{self.block_name}"
+            )
+        return value
 
     def write(self, reg, value):
-        self.regs[reg.name] = value
+        self.regs[self.slots[reg.name]] = value
 
 
 class Thread:
@@ -156,14 +198,16 @@ class Warp:
     def groups(self):
         """Runnable threads grouped by PC, as {pc: [threads by lane]}."""
         # Hot path: runs once per issue slot over every thread, so the PC
-        # tuple is built inline rather than through Thread.pc()/Frame.pc().
+        # tuple is built inline rather than through Thread.pc()/Frame.pc(),
+        # with every loop-invariant attribute hoisted into a local.
         groups = {}
+        lookup = groups.get
         runnable = ThreadState.RUNNABLE
         for thread in self.threads:
             if thread.state is runnable:
                 frame = thread.frames[-1]
                 pc = (frame.fname, frame.block_name, frame.index)
-                bucket = groups.get(pc)
+                bucket = lookup(pc)
                 if bucket is None:
                     groups[pc] = [thread]
                 else:
@@ -191,7 +235,7 @@ class Warp:
         # Fast-out: no barrier has a parked lane (the common case between
         # divergent regions), so nothing can be releasable.
         for barrier in self.barriers.barriers_dict().values():
-            if barrier.parked:
+            if barrier.parked_mask:
                 break
         else:
             return 0

@@ -60,11 +60,12 @@ MODES = ("baseline", "sr")
 
 
 def _launch(workload, compiled, machine_cls, fastpath, scheduler=None,
-            metrics=False, seed=2020):
+            metrics=False, seed=2020, segments=None):
     """One launch of a compiled workload on a fresh memory."""
     memory = GlobalMemory()
     args = workload.setup(memory)
-    kwargs = {"seed": seed, "fastpath": fastpath, "metrics": metrics}
+    kwargs = {"seed": seed, "fastpath": fastpath, "metrics": metrics,
+              "segments": segments}
     if scheduler is not None:
         kwargs["scheduler"] = scheduler
     machine = machine_cls(compiled.module, **kwargs)
@@ -166,6 +167,74 @@ class TestFastpathConformance:
             assert traces == reference, (name, "stack", fastpath)
 
 
+@pytest.mark.parametrize("name", sorted(CORPUS))
+class TestSegmentConformance:
+    """Segment fusion on vs off, per compile mode × scheduler.
+
+    Fusion-off per-instruction issue is the reference; fusion must be
+    bit-identical (traces, retirement, counters, cycles) and must actually
+    fire under the convergence scheduler, or the axis tests nothing.
+    """
+
+    def test_segments_bit_identical(self, name):
+        workload = get_workload(name, **CORPUS[name])
+        for mode in MODES:
+            compiled = _compiled(workload, mode)
+            for scheduler in sorted(SCHEDULERS):
+                unfused = _launch(
+                    workload, compiled, GPUMachine, True, scheduler,
+                    segments=False,
+                )
+                fused = _launch(
+                    workload, compiled, GPUMachine, True, scheduler,
+                    segments=True,
+                )
+                assert _fingerprint(fused) == _fingerprint(unfused), (
+                    name, mode, scheduler,
+                )
+                assert unfused.profiler.fused_issues == 0
+                if scheduler == "convergence":
+                    # Every corpus workload has straight-line runs; if the
+                    # engine stops fusing them the speedup silently
+                    # evaporates while results stay identical.
+                    assert fused.profiler.fused_issues > 0, (name, mode)
+
+    def test_segments_inert_without_fastpath(self, name):
+        """Fusion requires the decoded program; on the interpreted path it
+        must disable itself rather than change behavior."""
+        workload = get_workload(name, **CORPUS[name])
+        compiled = _compiled(workload, "sr")
+        interpreted = _launch(
+            workload, compiled, GPUMachine, False, segments=True
+        )
+        assert interpreted.profiler.fused_issues == 0
+        reference = _launch(
+            workload, compiled, GPUMachine, True, segments=False
+        )
+        assert _fingerprint(interpreted) == _fingerprint(reference), name
+
+    def test_segments_fall_back_under_observability(self, name):
+        """An attached metrics registry observes every issue slot, so
+        fusion must fall back to per-instruction issue — with results and
+        metrics identical to an unfused observed run."""
+        workload = get_workload(name, **CORPUS[name])
+        compiled = _compiled(workload, "sr")
+        observed = _launch(
+            workload, compiled, GPUMachine, True, metrics=True,
+            segments=True,
+        )
+        assert observed.profiler.fused_issues == 0
+        reference = _launch(
+            workload, compiled, GPUMachine, True, metrics=True,
+            segments=False,
+        )
+        assert _fingerprint(observed) == _fingerprint(reference), name
+        assert (
+            observed.metrics.stall_cycles()
+            == reference.metrics.stall_cycles()
+        )
+
+
 class TestRandomKernelConformance:
     """The fuzzer shakes the decoded handlers with shapes the Table 2
     corpus may not reach (soft thresholds, interprocedural calls)."""
@@ -181,6 +250,16 @@ class TestRandomKernelConformance:
             assert _fingerprint(fast) == _fingerprint(slow), (
                 machine_cls.__name__,
             )
+        # Segment fusion is a third engine configuration the fuzzer can
+        # reach with shapes the corpus lacks (soft thresholds mid-block,
+        # calls splitting runs); fused must match unfused exactly.
+        fused = GPUMachine(
+            compiled.module, fastpath=True, segments=True
+        ).launch("k", 32)
+        unfused = GPUMachine(
+            compiled.module, fastpath=True, segments=False
+        ).launch("k", 32)
+        assert _fingerprint(fused) == _fingerprint(unfused)
 
     @settings(max_examples=15, deadline=None)
     @given(random_kernel())
