@@ -142,6 +142,105 @@ def test_fastpath_corpus_sweep_speedup(benchmark):
     )
 
 
+def _multiwarp_sweep_point(name, mode, n_threads=128, seed=_SEED):
+    """One compile-and-launch at a multi-warp width (four warps), same
+    fixed-point record as :func:`_sweep_point`."""
+    workload = get_workload(name)
+    workload.n_threads = n_threads
+    result = workload.run(mode=mode, seed=seed)
+    traces = {
+        str(tid): trace
+        for tid, trace in sorted(result.launch.store_traces().items())
+    }
+    digest = hashlib.sha256(
+        json.dumps(traces, sort_keys=True).encode()
+    ).hexdigest()
+    return {
+        "workload": name,
+        "mode": mode,
+        "n_threads": n_threads,
+        "simt_efficiency": result.simt_efficiency,
+        "cycles": result.cycles,
+        "trace_sha256": digest,
+    }
+
+
+def _multiwarp_sweep():
+    """The corpus at 128 threads per launch, serial in-process."""
+    return [
+        _multiwarp_sweep_point(name, mode)
+        for name in workload_names()
+        for mode in ("baseline", "sr")
+    ]
+
+
+def test_multiwarp_corpus_sweep_speedup(benchmark):
+    """PR-level acceptance for warp batching: >= 1.3x wall-clock on the
+    multi-warp corpus sweep against the same engine with batching off,
+    with bit-identical results.
+
+    Every launch runs 128 threads (four warps), where the serial
+    round-robin interleaving — one issue slot per warp per rotation —
+    used to dominate. Both sides run serial in-process with fast path,
+    segments, and caches warm, so the ratio isolates exactly what the
+    batched lockstep epochs add and is independent of core count (like
+    the segment sweep, and unlike the process-fan-out one), which is why
+    CI's perf gate can track it. The floor is tunable via
+    ``REPRO_BENCH_MIN_MULTIWARP_SPEEDUP``; the measured value is written
+    to ``BENCH_multiwarp_sweep.json``.
+    """
+    min_speedup = float(
+        os.environ.get("REPRO_BENCH_MIN_MULTIWARP_SPEEDUP", "1.3")
+    )
+
+    from repro.simt.batch import warp_batch_disabled
+
+    # Warm module/program/decode caches; also the reference results.
+    reference = _multiwarp_sweep()
+    batched_results = benchmark.pedantic(
+        _multiwarp_sweep, rounds=3, iterations=1
+    )
+    batched_time = benchmark.stats.stats.min
+
+    with warp_batch_disabled():
+        serial_times = []
+        serial_results = None
+        for _ in range(3):
+            start = time.perf_counter()
+            serial_results = _multiwarp_sweep()
+            serial_times.append(time.perf_counter() - start)
+        serial_time = min(serial_times)
+
+    assert batched_results == reference
+    assert serial_results == reference
+
+    speedup = serial_time / batched_time
+    record = {
+        "benchmark": "multiwarp_corpus_sweep",
+        "corpus": sorted(workload_names()),
+        "modes": ["baseline", "sr"],
+        "n_threads": 128,
+        "seed": _SEED,
+        "jobs": 1,
+        "fast_seconds": round(batched_time, 4),
+        "fast_seconds_mean": round(benchmark.stats.stats.mean, 4),
+        "slow_seconds": round(serial_time, 4),
+        "speedup": round(speedup, 3),
+        "min_speedup_required": min_speedup,
+        "bit_identical": True,
+    }
+    (_REPO_ROOT / "BENCH_multiwarp_sweep.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    print(f"\nmultiwarp sweep: batched={batched_time:.2f}s "
+          f"serial={serial_time:.2f}s "
+          f"speedup={speedup:.2f}x (required {min_speedup:.1f}x)")
+    assert speedup >= min_speedup, (
+        f"multiwarp sweep speedup {speedup:.2f}x below the "
+        f"{min_speedup:.1f}x floor"
+    )
+
+
 def test_segment_corpus_sweep_speedup(benchmark):
     """PR-level acceptance for segment fusion: >= 1.5x wall-clock on the
     serial corpus sweep against the same engine with fusion off, with

@@ -10,12 +10,12 @@ pass-manager protocol (shared :class:`~repro.core.primitives.BarrierNamer`,
 
 Mode pipelines (see :data:`repro.core.pipeline.MODE_PIPELINES`)::
 
-    baseline  pdom-sync,strip-directives[,allocate,verify]
+    baseline  pdom-sync,strip-directives,mem-effects[,allocate,verify]
     sr        collect-predictions,pdom-sync,sr-insert,deconflict,
-              strip-directives[,allocate,verify]
+              strip-directives,mem-effects[,allocate,verify]
     auto      autodetect,collect-predictions,pdom-sync,sr-insert,
-              deconflict,strip-directives[,allocate,verify]
-    none      strip-directives[,allocate,verify]
+              deconflict,strip-directives,mem-effects[,allocate,verify]
+    none      strip-directives,mem-effects[,allocate,verify]
 """
 
 from __future__ import annotations
@@ -46,6 +46,7 @@ __all__ = [
     "DcePass",
     "DeconflictPass",
     "LintPass",
+    "MemEffectsPass",
     "OptimizePass",
     "PdomSyncPass",
     "SetThresholdPass",
@@ -343,6 +344,32 @@ class VerifyPass(Pass):
 
     def run(self, module, ctx):
         verify_module(module)
+
+    def preserves(self):
+        return ALL_ANALYSES
+
+
+@register_pass
+class MemEffectsPass(Pass):
+    """Per-kernel memory-effect summaries (read-only): which
+    parameter-rooted ``GlobalMemory`` regions every kernel reads, writes,
+    or ``atom_add``s, with ``"unknown"`` as the explicit top for computed
+    addresses. Cached as the ``"memeffects"`` analysis; the summaries land
+    on ``report.memory_effects`` (and a region-count line in
+    ``report.pass_stats``) for the warp batcher's documentation trail —
+    the batcher itself re-resolves against concrete launch arguments."""
+
+    name = "mem-effects"
+    description = "summarize per-kernel GlobalMemory reads/writes/atomics"
+
+    def run(self, module, ctx):
+        effects = ctx.analyses.get("memeffects")
+        ctx.report.memory_effects = {
+            kernel: summary.describe() for kernel, summary in effects.items()
+        }
+        ctx.report.pass_stats["mem-effects"] = {
+            kernel: len(summary.sites) for kernel, summary in effects.items()
+        }
 
     def preserves(self):
         return ALL_ANALYSES

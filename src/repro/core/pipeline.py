@@ -45,13 +45,14 @@ MODES = ("baseline", "sr", "auto", "none")
 #: The registered pipeline description for each compile mode (before the
 #: optional ``optimize`` prefix and ``allocate``/``verify`` suffix).
 MODE_PIPELINES = {
-    "baseline": ("pdom-sync", "strip-directives"),
+    "baseline": ("pdom-sync", "strip-directives", "mem-effects"),
     "sr": (
         "collect-predictions",
         "pdom-sync",
         "sr-insert",
         "deconflict",
         "strip-directives",
+        "mem-effects",
     ),
     "auto": (
         "autodetect",
@@ -60,8 +61,9 @@ MODE_PIPELINES = {
         "sr-insert",
         "deconflict",
         "strip-directives",
+        "mem-effects",
     ),
-    "none": ("strip-directives",),
+    "none": ("strip-directives", "mem-effects"),
 }
 
 
@@ -96,6 +98,7 @@ class CompileReport:
     spans: list = field(default_factory=list)             # obs.spans.Span per pass
     analysis_stats: dict = field(default_factory=dict)    # AnalysisManager.stats()
     pass_stats: dict = field(default_factory=dict)        # per-pass extras
+    memory_effects: dict = field(default_factory=dict)    # kernel -> mem summary
 
     def describe(self, with_spans=False):
         lines = [f"mode={self.mode}"]

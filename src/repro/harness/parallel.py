@@ -9,6 +9,18 @@ one: ``pool.map`` preserves ordering, each worker runs with its own
 process-private caches, and all randomness is derived from the explicit
 seed, never from worker identity or scheduling.
 
+The pool is **persistent**: the first parallel ``run_tasks`` call forks
+it, later calls reuse it, so a session of many small sweeps (threshold
+scans especially) pays pool spin-up and per-process cache warming once
+instead of per sweep. The pool is keyed by the worker count and a
+fingerprint of every knob that shapes worker behaviour — the ``REPRO_*``
+environment and the in-process engine toggles (fastpath, segments, warp
+batching, compile cache) — and is transparently torn down and reforked
+when any of them changes, since forked workers snapshot that state at
+creation. :func:`shutdown_pool` retires it explicitly (also registered
+``atexit``), and a worker exception terminates the pool before
+propagating so no half-poisoned workers outlive the error.
+
 Tasks are ``(fn, args, kwargs)`` triples with ``fn`` a module-level
 function (workers import it by reference under the fork start method, and
 by qualified name under spawn). ``jobs<=1``, a single task, or an
@@ -18,10 +30,11 @@ unavailable ``multiprocessing`` all degrade to a plain serial loop — the
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 
-__all__ = ["resolve_jobs", "run_tasks", "task"]
+__all__ = ["resolve_jobs", "run_tasks", "shutdown_pool", "task"]
 
 
 def resolve_jobs(jobs=None):
@@ -50,20 +63,83 @@ def _call(packed):
     return fn(*args, **kwargs)
 
 
+#: The live pool and the (jobs, fingerprint) key it was forked under.
+_POOL = None
+_POOL_KEY = None
+
+
+def _knob_fingerprint():
+    """Everything a forked worker snapshots that a later sweep may have
+    changed: REPRO_* environment variables and the in-process engine
+    toggles (which ``set_fastpath``-style helpers flip without touching
+    the environment)."""
+    env = tuple(sorted(
+        (key, value)
+        for key, value in os.environ.items()
+        if key.startswith("REPRO_")
+    ))
+    from repro.core.program_cache import CACHE_ENABLED
+    from repro.simt.batch import WARP_BATCH_ENABLED
+    from repro.simt.fastpath import FASTPATH_ENABLED
+    from repro.simt.segments import SEGMENTS_ENABLED
+
+    return (
+        env,
+        FASTPATH_ENABLED,
+        SEGMENTS_ENABLED,
+        WARP_BATCH_ENABLED,
+        CACHE_ENABLED,
+    )
+
+
+def shutdown_pool():
+    """Retire the persistent pool (no-op when none is alive)."""
+    global _POOL, _POOL_KEY
+    pool = _POOL
+    _POOL = None
+    _POOL_KEY = None
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(shutdown_pool)
+
+
+def _acquire_pool(jobs):
+    """The persistent pool for ``jobs`` workers under the current knobs,
+    reforking if either changed since the last call."""
+    global _POOL, _POOL_KEY
+    key = (jobs, _knob_fingerprint())
+    if _POOL is not None and _POOL_KEY == key:
+        return _POOL
+    shutdown_pool()
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = multiprocessing.get_context("spawn")
+    _POOL = context.Pool(processes=jobs)
+    _POOL_KEY = key
+    return _POOL
+
+
 def run_tasks(tasks, jobs=None):
     """Run ``(fn, args, kwargs)`` triples; results in submission order.
 
     With ``jobs`` (resolved per :func:`resolve_jobs`) greater than one and
-    more than one task, the tasks run on a process pool; otherwise serially
-    in-process. Worker exceptions propagate to the caller either way.
+    more than one task, the tasks run on the persistent process pool;
+    otherwise serially in-process. Worker exceptions propagate to the
+    caller either way (and retire the pool first).
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(tasks) <= 1:
         return [fn(*args, **kwargs) for fn, args, kwargs in tasks]
+    pool = _acquire_pool(jobs)
     try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:
-        context = multiprocessing.get_context("spawn")
-    with context.Pool(processes=min(jobs, len(tasks))) as pool:
         return pool.map(_call, tasks)
+    except Exception:
+        # The failed map may leave workers mid-task; don't hand them the
+        # next sweep.
+        shutdown_pool()
+        raise

@@ -11,6 +11,12 @@ from repro.simt.fastpath import (
     fastpath_enabled,
     set_fastpath,
 )
+from repro.simt.batch import (
+    WarpBatcher,
+    set_warp_batch,
+    warp_batch_disabled,
+    warp_batch_enabled,
+)
 from repro.simt.machine import DEFAULT_MAX_ISSUES, GPUMachine, LaunchResult
 from repro.simt.segments import (
     Segment,
@@ -60,6 +66,7 @@ __all__ = [
     "ThreadState",
     "WARP_SIZE",
     "Warp",
+    "WarpBatcher",
     "XorShift32",
     "decode_program",
     "fastpath_disabled",
@@ -70,6 +77,9 @@ __all__ = [
     "segments_enabled",
     "set_fastpath",
     "set_segments",
+    "set_warp_batch",
+    "warp_batch_disabled",
+    "warp_batch_enabled",
     "run_reference_launch",
     "run_reference_thread",
 ]

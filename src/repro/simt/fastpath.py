@@ -719,6 +719,15 @@ class DecodedProgram:
         """The :class:`~repro.simt.segments.Segment` starting at ``pc``, or
         None when no fusable segment (length >= 2) starts there."""
         function, block, index = pc
+        return self._segment_table(function, block).at(index)
+
+    def segment_bounded(self, pc, length):
+        """Like :meth:`segment_at`, truncated to ``length`` instructions
+        (the warp batcher's lockstep epoch length)."""
+        function, block, index = pc
+        return self._segment_table(function, block).at_bounded(index, length)
+
+    def _segment_table(self, function, block):
         table = self._segments.get((function, block))
         if table is None:
             entries = self._blocks.get((function, block))
@@ -731,7 +740,7 @@ class DecodedProgram:
                 self.module.function(function).reg_slots(),
             )
             self._segments[(function, block)] = table
-        return table.at(index)
+        return table
 
     def _decode_block(self, function, block):
         fn = self.module.function(function)

@@ -75,6 +75,7 @@ class GPUMachine:
         metrics=False,
         fastpath=None,
         segments=None,
+        warp_batch=None,
     ):
         self.module = module
         self.cost_model = cost_model or DEFAULT_COST_MODEL
@@ -85,6 +86,8 @@ class GPUMachine:
         self.fastpath = fastpath
         # None defers to the global repro.simt.segments default.
         self.segments = segments
+        # None defers to the global repro.simt.batch default.
+        self.warp_batch = warp_batch
         # Observability, all off by default (the fast path stays
         # allocation-free): ``trace`` records cycle-stamped IssueEvents for
         # timeline rendering, ``sink`` streams every event kind to a
@@ -126,6 +129,14 @@ class GPUMachine:
             warps.append(Warp(warp_id, threads))
             all_threads.extend(threads)
 
+        batcher = None
+        if len(warps) > 1:
+            from repro.simt.batch import make_batcher
+
+            batcher = make_batcher(
+                self, executor, scheduler, kernel_name, args, n_threads
+            )
+
         issues = 0
         live_warps = list(warps)
         while live_warps:
@@ -137,6 +148,18 @@ class GPUMachine:
                     live_warps[0], executor, scheduler, issues, kernel_name
                 )
                 break
+            if batcher is not None:
+                # Lockstep epoch: every live warp advances the same number
+                # of fused slots, with memory disjointness proven statically
+                # or enforced by the optimistic write-set guard. Falls
+                # through to one ordinary per-slot round when it cannot
+                # engage (non-forced pick, no segment, drain needed, ...).
+                advanced = batcher.try_epoch(live_warps, issues)
+                if advanced is not None:
+                    # Segment ops cannot exit or park, so the live set is
+                    # unchanged.
+                    issues = advanced
+                    continue
             progressed = []
             for warp in live_warps:
                 if self._step(warp, executor, scheduler):

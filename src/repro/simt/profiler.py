@@ -43,6 +43,12 @@ class Profiler:
         #: summary(), which must be invariant under fusion).
         self.fused_issues = 0
         self.fused_segments = 0
+        #: warp-batching diagnostics (repro.simt.batch): lockstep epochs
+        #: attempted and epochs rolled back by the write-set guard. Like
+        #: the fused_* counters these describe the engine, not the
+        #: simulated program, so summary() excludes them.
+        self.batch_epochs = 0
+        self.batch_rollbacks = 0
         #: when tracing, every issue as a cycle-stamped IssueEvent (which
         #: unpacks as the legacy ``(warp_id, function, block, lanes)`` tuple)
         self.trace = [] if trace else None

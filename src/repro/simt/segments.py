@@ -309,13 +309,17 @@ class Segment:
     """
 
     __slots__ = ("fname", "bname", "start", "n", "steps", "end_pc",
-                 "opcode_counts")
+                 "opcode_counts", "touches_memory")
 
     def __init__(self, fname, bname, start, entries, slots):
         self.fname = fname
         self.bname = bname
         self.start = start
         self.n = len(entries)
+        self.touches_memory = any(
+            entry.opcode in (Opcode.LD, Opcode.ST, Opcode.ATOMADD)
+            for entry in entries
+        )
 
         steps = []
         micro = []
@@ -440,4 +444,34 @@ class SegmentTable:
             self.slots,
         )
         self._cache[index] = segment
+        return segment
+
+    def at_bounded(self, index, length):
+        """Like :meth:`at`, truncated to at most ``length`` instructions.
+
+        The warp batcher runs every live warp the *same* number of slots
+        per lockstep epoch, so it needs sub-segments cut to the epoch
+        length. Lengths shorter than two are not worth fusing and return
+        None; a length covering the whole run returns the maximal
+        (shared) segment object.
+        """
+        if length < 2:
+            return None
+        end = self._run_end[index] if index < len(self._run_end) else -1
+        if end - index < 2:
+            return None
+        if length >= end - index:
+            return self.at(index)
+        key = (index, length)
+        segment = self._cache.get(key, _NO_SEGMENT)
+        if segment is not _NO_SEGMENT:
+            return segment
+        segment = Segment(
+            self.fname,
+            self.bname,
+            index,
+            self.entries[index:index + length],
+            self.slots,
+        )
+        self._cache[key] = segment
         return segment

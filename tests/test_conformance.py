@@ -8,6 +8,8 @@ profiler counters across:
 * all three schedulers,
 * ``compile_baseline`` vs ``compile_sr``,
 * observability (metrics) on vs off — the PR-1 invariant,
+* multi-warp batched lockstep epochs vs the serial warp interleaving
+  (``warp_batch`` on vs off at 96 threads),
 
 over a scaled-down Table 2 corpus and the hypothesis ``random_kernel``
 fuzzer. The interpreted (fastpath-off) executor is the reference
@@ -60,17 +62,20 @@ MODES = ("baseline", "sr")
 
 
 def _launch(workload, compiled, machine_cls, fastpath, scheduler=None,
-            metrics=False, seed=2020, segments=None):
+            metrics=False, seed=2020, segments=None, n_threads=None,
+            **machine_kwargs):
     """One launch of a compiled workload on a fresh memory."""
     memory = GlobalMemory()
     args = workload.setup(memory)
     kwargs = {"seed": seed, "fastpath": fastpath, "metrics": metrics,
-              "segments": segments}
+              "segments": segments, **machine_kwargs}
     if scheduler is not None:
         kwargs["scheduler"] = scheduler
     machine = machine_cls(compiled.module, **kwargs)
     return machine.launch(
-        workload.kernel_name, workload.n_threads, args=args, memory=memory
+        workload.kernel_name,
+        n_threads if n_threads is not None else workload.n_threads,
+        args=args, memory=memory,
     )
 
 
@@ -235,6 +240,65 @@ class TestSegmentConformance:
         )
 
 
+@pytest.mark.parametrize("name", sorted(CORPUS))
+class TestWarpBatchConformance:
+    """Batched multi-warp lockstep epochs vs the serial interleaving.
+
+    Every corpus workload launches with three warps (96 threads) so the
+    multi-warp rotation loop — not the single-warp exclusive path — is
+    what runs. ``warp_batch=False`` is the reference serial schedule
+    (the exact pre-batching engine); the batched engine must be
+    bit-identical across compile modes and schedulers while actually
+    advancing warps in lockstep epochs.
+    """
+
+    N_THREADS = 96
+
+    def test_batched_bit_identical_and_engaged(self, name):
+        workload = get_workload(name, **CORPUS[name])
+        for mode in MODES:
+            compiled = _compiled(workload, mode)
+            for scheduler in sorted(SCHEDULERS):
+                serial = _launch(
+                    workload, compiled, GPUMachine, True, scheduler,
+                    n_threads=self.N_THREADS, warp_batch=False,
+                )
+                batched = _launch(
+                    workload, compiled, GPUMachine, True, scheduler,
+                    n_threads=self.N_THREADS, warp_batch=True,
+                )
+                assert _fingerprint(batched) == _fingerprint(serial), (
+                    name, mode, scheduler,
+                )
+                # The serial engine must be the exact pre-batching path
+                # and the batched one must really take lockstep epochs —
+                # otherwise this axis silently tests nothing.
+                assert serial.profiler.batch_epochs == 0
+                assert batched.profiler.batch_epochs > 0, (
+                    name, mode, scheduler,
+                )
+
+    def test_batching_inert_under_observability(self, name):
+        """Metrics observe every issue slot, so batching (like fusion)
+        must disable itself rather than change what metrics see."""
+        workload = get_workload(name, **CORPUS[name])
+        compiled = _compiled(workload, "sr")
+        observed = _launch(
+            workload, compiled, GPUMachine, True, metrics=True,
+            n_threads=self.N_THREADS, warp_batch=True,
+        )
+        assert observed.profiler.batch_epochs == 0
+        reference = _launch(
+            workload, compiled, GPUMachine, True, metrics=True,
+            n_threads=self.N_THREADS, warp_batch=False,
+        )
+        assert _fingerprint(observed) == _fingerprint(reference), name
+        assert (
+            observed.metrics.stall_cycles()
+            == reference.metrics.stall_cycles()
+        )
+
+
 class TestRandomKernelConformance:
     """The fuzzer shakes the decoded handlers with shapes the Table 2
     corpus may not reach (soft thresholds, interprocedural calls)."""
@@ -260,6 +324,27 @@ class TestRandomKernelConformance:
             compiled.module, fastpath=True, segments=False
         ).launch("k", 32)
         assert _fingerprint(fused) == _fingerprint(unfused)
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_kernel(allow_atomics=True))
+    def test_multiwarp_batched_matches_serial(self, program):
+        """Multi-warp fuzz for the warp batcher: random kernels whose
+        divergent regions may fetch-and-add a *shared* cell (the fetched
+        ticket is observable), launched across three warps. Batched
+        lockstep epochs must reproduce the serial interleaving
+        bit-for-bit — including the guarded rollback path whenever the
+        atomics make footprints collide."""
+        module = lower_program(program)
+        compiled = compile_sr(module)
+        for scheduler in sorted(SCHEDULERS):
+            serial = GPUMachine(
+                compiled.module, scheduler=scheduler, warp_batch=False
+            ).launch("k", 96)
+            batched = GPUMachine(
+                compiled.module, scheduler=scheduler, warp_batch=True
+            ).launch("k", 96)
+            assert _fingerprint(batched) == _fingerprint(serial), scheduler
+            assert serial.profiler.batch_epochs == 0
 
     @settings(max_examples=15, deadline=None)
     @given(random_kernel())

@@ -243,6 +243,8 @@ class TestSpans:
             "sr-insert",
             "deconflict",
             "strip-directives",
+            "analysis:memeffects",
+            "mem-effects",
             "allocate",
             "verify",
         ]
@@ -264,7 +266,13 @@ class TestSpans:
             compile_kernel_source(DIVERGENT), mode="none"
         )
         names = [span.name for span in program.report.spans]
-        assert names == ["strip-directives", "allocate", "verify"]
+        assert names == [
+            "strip-directives",
+            "analysis:memeffects",
+            "mem-effects",
+            "allocate",
+            "verify",
+        ]
 
     def test_module_stats_counts(self):
         module = compile_kernel_source(DIVERGENT)

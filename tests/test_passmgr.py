@@ -193,7 +193,7 @@ class TestCompilerFacade:
             predicted_module(), mode="baseline"
         )
         assert program.report.pipeline == (
-            "pdom-sync,strip-directives,allocate,verify"
+            "pdom-sync,strip-directives,mem-effects,allocate,verify"
         )
 
     def test_constructor_flags_shape_pipeline(self):
@@ -201,7 +201,7 @@ class TestCompilerFacade:
             optimize=True, allocate=False, verify=False
         )
         specs = compiler.resolve_pipeline("none")
-        assert format_pipeline(specs) == "optimize,strip-directives"
+        assert format_pipeline(specs) == "optimize,strip-directives,mem-effects"
 
     def test_env_pipeline_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_PIPELINE", "strip-directives,verify")

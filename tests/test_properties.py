@@ -17,7 +17,7 @@ from repro.simt import GPUMachine
 
 
 @st.composite
-def random_kernel(draw):
+def random_kernel(draw, allow_atomics=False):
     """A random kernel with loops, divergent branches, and a labeled
     reconvergence point under a Predict directive.
 
@@ -26,6 +26,13 @@ def random_kernel(draw):
     like the label prediction's, may be a soft-barrier threshold (Section
     4.6) — so the fuzz net covers the interprocedural and softbarrier
     passes too.
+
+    With ``allow_atomics=True`` the divergent region may additionally
+    ``atomadd`` a *shared* cell and fold the fetched value into the
+    stored accumulator. That makes results depend on the exact global
+    interleaving of warps, which is precisely what the warp-batching
+    conformance fuzz needs — and why the schedule-invariance tests in
+    this file keep it off.
     """
     statements = [
         A.Let("acc", A.Num(0.0)),
@@ -56,6 +63,23 @@ def random_kernel(draw):
             )
         )
         call_stmts = [A.Assign("acc", A.CallExpr("helper", [A.Var("acc")]))]
+    if allow_atomics and draw(st.booleans()):
+        # A shared-cell fetch-and-add whose result is observable: every
+        # thread of every warp contends on one address, and the fetched
+        # ticket feeds the final store.
+        shared_cell = float(draw(st.integers(900, 903)))
+        call_stmts = call_stmts + [
+            A.Assign(
+                "acc",
+                A.Bin(
+                    "+",
+                    A.Var("acc"),
+                    A.CallExpr(
+                        "atomadd", [A.Num(shared_cell), A.Num(1.0)]
+                    ),
+                ),
+            )
+        ]
     outer_trips = draw(st.integers(2, 6))
     use_inner_loop = draw(st.booleans())
     expensive_len = draw(st.integers(1, 6))
