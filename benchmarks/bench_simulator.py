@@ -17,6 +17,7 @@ from pathlib import Path
 from repro.core import ReconvergenceCompiler
 from repro.core.program_cache import PROGRAM_CACHE, cache_disabled
 from repro.harness.parallel import run_tasks, task
+from repro.obs import counters as obs_counters
 from repro.simt.fastpath import clear_decode_cache, fastpath_disabled
 from repro.workloads import get_workload, workload_names
 
@@ -100,7 +101,13 @@ def test_fastpath_corpus_sweep_speedup(benchmark):
 
     # Warm module/program/decode caches in the parent so forked workers
     # inherit them — the steady state of a figure-regeneration session.
+    # The counter delta over this serial reference sweep ships with the
+    # record so compare.py can attribute timing moves to engine layers.
+    counters_before = obs_counters.snapshot()
     reference = _corpus_sweep()
+    sweep_counters = obs_counters.delta(
+        obs_counters.snapshot(), counters_before
+    )
     fast_results = benchmark.pedantic(
         lambda: _corpus_sweep(jobs=jobs), rounds=3, iterations=1
     )
@@ -130,6 +137,7 @@ def test_fastpath_corpus_sweep_speedup(benchmark):
         "speedup": round(speedup, 3),
         "min_speedup_required": min_speedup,
         "bit_identical": True,
+        "counters": sweep_counters,
     }
     (_REPO_ROOT / "BENCH_fastpath_sweep.json").write_text(
         json.dumps(record, indent=2) + "\n"
@@ -195,8 +203,13 @@ def test_multiwarp_corpus_sweep_speedup(benchmark):
 
     from repro.simt.batch import warp_batch_disabled
 
-    # Warm module/program/decode caches; also the reference results.
+    # Warm module/program/decode caches; also the reference results. The
+    # counter delta over this serial sweep ships with the record.
+    counters_before = obs_counters.snapshot()
     reference = _multiwarp_sweep()
+    sweep_counters = obs_counters.delta(
+        obs_counters.snapshot(), counters_before
+    )
     batched_results = benchmark.pedantic(
         _multiwarp_sweep, rounds=3, iterations=1
     )
@@ -228,6 +241,7 @@ def test_multiwarp_corpus_sweep_speedup(benchmark):
         "speedup": round(speedup, 3),
         "min_speedup_required": min_speedup,
         "bit_identical": True,
+        "counters": sweep_counters,
     }
     (_REPO_ROOT / "BENCH_multiwarp_sweep.json").write_text(
         json.dumps(record, indent=2) + "\n"
@@ -260,8 +274,13 @@ def test_segment_corpus_sweep_speedup(benchmark):
 
     from repro.simt.segments import segments_disabled
 
-    # Warm module/program/decode caches; also the reference results.
+    # Warm module/program/decode caches; also the reference results. The
+    # counter delta over this serial sweep ships with the record.
+    counters_before = obs_counters.snapshot()
     reference = _corpus_sweep()
+    sweep_counters = obs_counters.delta(
+        obs_counters.snapshot(), counters_before
+    )
     fused_results = benchmark.pedantic(_corpus_sweep, rounds=3, iterations=1)
     fused_time = benchmark.stats.stats.min
 
@@ -290,6 +309,7 @@ def test_segment_corpus_sweep_speedup(benchmark):
         "speedup": round(speedup, 3),
         "min_speedup_required": min_speedup,
         "bit_identical": True,
+        "counters": sweep_counters,
     }
     (_REPO_ROOT / "BENCH_segment_sweep.json").write_text(
         json.dumps(record, indent=2) + "\n"

@@ -77,6 +77,34 @@ def _speedup(record):
     return float(value) if value is not None else None
 
 
+def counter_delta_rows(baseline, fresh, only=None):
+    """Per-layer engine-counter deltas for benchmarks present on both
+    sides with a ``counters`` snapshot (written by bench_simulator since
+    the telemetry PR). Rows are ``(benchmark, counter, base, fresh,
+    delta)``; purely informational — counters attribute a timing
+    regression to the layer whose behaviour moved (a decode-cache hit
+    rate collapse, a batching rollback storm), they never gate."""
+    rows = []
+    for name in sorted(set(baseline) & set(fresh)):
+        if only is not None and name not in only:
+            continue
+        base_counters = baseline[name].get("counters")
+        new_counters = fresh[name].get("counters")
+        if not isinstance(base_counters, dict) or not isinstance(
+            new_counters, dict
+        ):
+            continue
+        for counter in sorted(set(base_counters) | set(new_counters)):
+            base_value = int(base_counters.get(counter, 0))
+            new_value = int(new_counters.get(counter, 0))
+            if base_value == 0 and new_value == 0:
+                continue
+            rows.append(
+                (name, counter, base_value, new_value, new_value - base_value)
+            )
+    return rows
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -114,6 +142,23 @@ def main(argv=None):
         base_text = f"{base_speedup:.2f}x" if base_speedup is not None else "-"
         new_text = f"{new_speedup:.2f}x" if new_speedup is not None else "-"
         print(f"{name.ljust(width)}  {base_text:>8}  {new_text:>8}  {status}")
+
+    counter_rows = counter_delta_rows(
+        baseline, fresh, only=set(args.only) if args.only else None
+    )
+    if counter_rows:
+        name_w = max(len(r[0]) for r in counter_rows)
+        counter_w = max(len(r[1]) for r in counter_rows)
+        print("\nper-layer engine counters (informational):")
+        print(
+            f"{'benchmark'.ljust(name_w)}  {'counter'.ljust(counter_w)}  "
+            f"{'baseline':>12}  {'fresh':>12}  {'delta':>12}"
+        )
+        for name, counter, base_value, new_value, delta in counter_rows:
+            print(
+                f"{name.ljust(name_w)}  {counter.ljust(counter_w)}  "
+                f"{base_value:>12}  {new_value:>12}  {delta:>+12}"
+            )
 
     if failures:
         print(

@@ -36,6 +36,7 @@ from repro.errors import TransformError
 from repro.ir.function import structure_token
 from repro.ir.printer import format_module
 from repro.ir.verifier import verify_module
+from repro.obs.counters import ENGINE_COUNTERS
 from repro.obs.spans import SpanRecorder
 
 __all__ = [
@@ -166,8 +167,10 @@ class AnalysisManager:
         entry = self._cache.get(name)
         if entry is not None and entry[0] == token:
             self.hits += 1
+            ENGINE_COUNTERS.passmgr_analysis_hit += 1
             return entry[1]
         self.misses += 1
+        ENGINE_COUNTERS.passmgr_analysis_recompute += 1
         if self._spans is not None:
             with self._spans.span(f"analysis:{name}"):
                 result = compute(self.module)

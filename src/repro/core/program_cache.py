@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from repro.core.passmgr import default_pipeline
 from repro.core.pipeline import ReconvergenceCompiler
 from repro.ir.function import structure_token
+from repro.obs.counters import ENGINE_COUNTERS
 
 __all__ = [
     "PROGRAM_CACHE",
@@ -118,6 +119,7 @@ class ProgramCache:
         except TypeError:
             # Unhashable option or non-weak-referenceable module: compile
             # directly, no caching.
+            ENGINE_COUNTERS.program_cache_miss += 1
             return self._compile(
                 module, mode, threshold, auto_options, pipeline,
                 compiler_options,
@@ -126,8 +128,10 @@ class ProgramCache:
         entry = per_module.get(key)
         if entry is not None and entry[0] == token:
             self.hits += 1
+            ENGINE_COUNTERS.program_cache_hit += 1
             return entry[1]
         self.misses += 1
+        ENGINE_COUNTERS.program_cache_miss += 1
         program = self._compile(
             module, mode, threshold, auto_options, pipeline, compiler_options
         )
@@ -160,6 +164,7 @@ def compile_cached(module, mode="sr", threshold=None, auto_options=None,
                    pipeline=None, **compiler_options):
     """Compile through :data:`PROGRAM_CACHE` (or directly when disabled)."""
     if not CACHE_ENABLED:
+        ENGINE_COUNTERS.program_cache_miss += 1
         return ProgramCache._compile(
             module, mode, threshold, auto_options, pipeline, compiler_options
         )

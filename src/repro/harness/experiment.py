@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.harness.parallel import run_tasks, task
+from repro.harness.parallel import run_tasks_observed, task
 from repro.workloads import get_workload
 
 
@@ -57,13 +57,16 @@ def compare_all(names, seed=2020, params=None, jobs=None):
     rows come back in ``names`` order regardless.
     """
     params = params or {}
-    return run_tasks(
+    # Observed variant so worker-side engine counters fold back into the
+    # parent registry; the rows themselves are identical either way.
+    rows, _reports = run_tasks_observed(
         [
             task(compare_workload, name, seed=seed, **params.get(name, {}))
             for name in names
         ],
         jobs=jobs,
     )
+    return rows
 
 
 @dataclass
@@ -93,7 +96,7 @@ def threshold_sweep(name, thresholds=None, seed=2020, jobs=None, **params):
     baseline = workload.run(mode="baseline", seed=seed)
     # >=32 collapses to the hard wait (threshold None).
     effective = [None if k >= 32 else k for k in thresholds]
-    measured = run_tasks(
+    measured, _reports = run_tasks_observed(
         [task(_sweep_point, name, params, seed, e) for e in effective],
         jobs=jobs,
     )

@@ -15,6 +15,7 @@ import json
 import sys
 
 from repro.harness.experiment import compare_all, threshold_sweep
+from repro.obs import counters as obs_counters
 from repro.workloads import FIGURE7_WORKLOADS, get_workload
 
 #: Workloads whose full observability summary ships with the export, with
@@ -83,15 +84,22 @@ def collect_summaries(seed=2020, workloads=None):
 def collect_results(seed=2020, sweep_workloads=("pathtracer", "xsbench"),
                     summary_workloads=None, jobs=None):
     """All fast-figure measurements as one JSON-serializable dict."""
+    before = obs_counters.snapshot()
     rows = compare_all(FIGURE7_WORKLOADS, seed=seed, jobs=jobs)
     sweeps = {}
     for name in sweep_workloads:
         baseline, points = threshold_sweep(name, seed=seed, jobs=jobs)
         sweeps[name] = sweep_to_dicts(baseline, points)
+    summaries = collect_summaries(seed=seed, workloads=summary_workloads)
     return {
         "figure7_8": comparison_rows_to_dicts(rows),
         "figure9": sweeps,
-        "summaries": collect_summaries(seed=seed, workloads=summary_workloads),
+        "summaries": summaries,
+        # What the engine did to produce this export (repro.obs.counters):
+        # cache traffic, fusion coverage, batch epochs, pool reuse.
+        "engine_counters": obs_counters.delta(
+            obs_counters.snapshot(), before
+        ),
         "seed": seed,
     }
 

@@ -26,6 +26,18 @@ function (workers import it by reference under the fork start method, and
 by qualified name under spawn). ``jobs<=1``, a single task, or an
 unavailable ``multiprocessing`` all degrade to a plain serial loop — the
 ``--jobs`` flag can therefore be wired through unconditionally.
+
+:func:`run_tasks_observed` is the telemetry-carrying variant: each worker
+snapshots the process-global engine counters around its task (and, with
+``events=True``, collects every simulator event through the ambient
+sink) and ships the delta back alongside the result. The parent merges
+worker counter deltas into its own :data:`~repro.obs.counters.ENGINE_COUNTERS`,
+so the registry reflects all work done on a sweep's behalf whether it ran
+serially or on the pool — ``--jobs`` runs are no longer observability
+black holes. The per-worker reports feed
+:func:`repro.obs.chrome_trace.merged_worker_trace` (one Chrome process
+per worker, so colliding warp tids stay distinguishable) and the
+``tools.stats`` aggregate table.
 """
 
 from __future__ import annotations
@@ -34,7 +46,16 @@ import atexit
 import multiprocessing
 import os
 
-__all__ = ["resolve_jobs", "run_tasks", "shutdown_pool", "task"]
+from repro.obs import counters as _counters
+from repro.obs.counters import ENGINE_COUNTERS
+
+__all__ = [
+    "resolve_jobs",
+    "run_tasks",
+    "run_tasks_observed",
+    "shutdown_pool",
+    "task",
+]
 
 
 def resolve_jobs(jobs=None):
@@ -99,6 +120,7 @@ def shutdown_pool():
     _POOL = None
     _POOL_KEY = None
     if pool is not None:
+        ENGINE_COUNTERS.pool_teardowns += 1
         pool.terminate()
         pool.join()
 
@@ -112,6 +134,7 @@ def _acquire_pool(jobs):
     global _POOL, _POOL_KEY
     key = (jobs, _knob_fingerprint())
     if _POOL is not None and _POOL_KEY == key:
+        ENGINE_COUNTERS.pool_reuses += 1
         return _POOL
     shutdown_pool()
     try:
@@ -136,6 +159,7 @@ def run_tasks(tasks, jobs=None):
     if jobs <= 1 or len(tasks) <= 1:
         return [fn(*args, **kwargs) for fn, args, kwargs in tasks]
     pool = _acquire_pool(jobs)
+    ENGINE_COUNTERS.pool_tasks += len(tasks)
     try:
         return pool.map(_call, tasks)
     except Exception:
@@ -143,3 +167,67 @@ def run_tasks(tasks, jobs=None):
         # next sweep.
         shutdown_pool()
         raise
+
+
+def _call_observed(packed):
+    """Worker-side wrapper: run the task, return ``(result, report)``.
+
+    The report carries the worker's engine-counter delta over the task
+    (its process-global registry accumulates across tasks; the delta is
+    this task's share) and, when requested, every simulator event the
+    task's launches emitted — captured through the ambient sink so the
+    task itself needs no observability plumbing.
+    """
+    fn, args, kwargs, events = packed
+    from repro.obs.sinks import ListSink, set_ambient_sink
+
+    before = _counters.snapshot()
+    sink = previous = None
+    if events:
+        sink = ListSink()
+        previous = set_ambient_sink(sink)
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        if sink is not None:
+            set_ambient_sink(previous)
+    report = {
+        "pid": os.getpid(),
+        "counters": _counters.delta(_counters.snapshot(), before),
+        "events": sink.events if sink is not None else [],
+    }
+    return result, report
+
+
+def run_tasks_observed(tasks, jobs=None, events=False):
+    """Like :func:`run_tasks`, returning ``(results, worker_reports)``.
+
+    ``worker_reports`` is one dict per task, in submission order:
+    ``{"pid": worker os pid, "counters": engine-counter delta,
+    "events": [simulator events]}`` (``events`` empty unless
+    ``events=True`` — event capture flips launches into observing mode,
+    which disables segment fusion and warp batching, so only ask for it
+    when you want the timeline rather than representative counters).
+
+    When the tasks ran on the pool, each worker's counter delta is merged
+    into the parent's registry, so :data:`ENGINE_COUNTERS` accounts for
+    the whole sweep either way; cross-process results remain bit-identical
+    to the serial run (the wrapper only reads counters around the task).
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    packed = [(fn, args, kwargs, events) for fn, args, kwargs in tasks]
+    if jobs <= 1 or len(tasks) <= 1:
+        out = [_call_observed(item) for item in packed]
+        return [r for r, _ in out], [rep for _, rep in out]
+    pool = _acquire_pool(jobs)
+    ENGINE_COUNTERS.pool_tasks += len(tasks)
+    try:
+        out = pool.map(_call_observed, packed)
+    except Exception:
+        shutdown_pool()
+        raise
+    reports = [rep for _, rep in out]
+    for report in reports:
+        ENGINE_COUNTERS.merge(report["counters"])
+    return [r for r, _ in out], reports

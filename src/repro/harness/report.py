@@ -86,6 +86,40 @@ def opcode_table(opcode_issues, title="Issues by opcode", limit=12):
     return format_table(["opcode", "issues"], rows, title=title)
 
 
+def counters_table(snapshot, title="Engine counters"):
+    """An engine-counter snapshot (``repro.obs.counters``) as a per-layer
+    table. Derived ratios (segment coverage) render as percentages."""
+    from repro.obs.counters import counter_layers
+
+    rows = []
+    for layer, values in counter_layers(snapshot).items():
+        for name, value in values.items():
+            short = name.partition(".")[2]
+            if isinstance(value, float):
+                value = f"{value:.1%}"
+            rows.append((layer, short, value))
+    return format_table(["layer", "counter", "value"], rows, title=title)
+
+
+def counters_delta_table(after, before, title="Engine counter deltas",
+                         skip_zero=True):
+    """Per-layer ``after - before`` counter table (two snapshots)."""
+    from repro.obs.counters import counter_layers, delta
+
+    moved = delta(after, before)
+    rows = []
+    for layer, values in counter_layers(moved).items():
+        for name, value in values.items():
+            if isinstance(value, float):
+                continue  # coverage recomputed from deltas is meaningless
+            if skip_zero and value == 0:
+                continue
+            rows.append((layer, name.partition(".")[2], f"{value:+d}"))
+    if not rows:
+        rows.append(("-", "(no counters moved)", ""))
+    return format_table(["layer", "counter", "delta"], rows, title=title)
+
+
 def markdown_table(headers, rows):
     """GitHub-flavored markdown table (for EXPERIMENTS.md)."""
     lines = ["| " + " | ".join(str(h) for h in headers) + " |"]

@@ -11,18 +11,41 @@ The ``repro.obs`` package instruments all three layers of the stack:
   ``Profiler.summary()``;
 * **compiler** — timed pass-pipeline spans with IR deltas
   (:mod:`repro.obs.spans`) attached to ``CompileReport.spans``;
+* **engine counters** — the always-on, namespaced per-layer counter
+  registry (:mod:`repro.obs.counters`): decode-cache and compile-cache
+  hits, segment-fusion coverage, batch epochs/rollbacks, analysis cache
+  traffic, worker-pool reuse — snapshot/diff/merge, rendered by
+  ``python -m repro.tools.stats``;
+* **flight recorder** — a bounded ring of recent engine decisions per
+  launch (:mod:`repro.obs.recorder`), dumped as a structured post-mortem
+  on ``LaunchError``/deadlock;
 * **export** — Chrome Trace Event Format for ``chrome://tracing`` /
-  Perfetto (:mod:`repro.obs.chrome_trace`) and the
-  ``python -m repro.tools.trace`` CLI.
+  Perfetto (:mod:`repro.obs.chrome_trace`), including merged
+  multi-worker timelines, and the ``python -m repro.tools.trace`` CLI.
 
 See ``docs/observability.md`` for the event taxonomy and examples.
 """
 
 from repro.obs.chrome_trace import (
     chrome_trace,
+    merged_worker_trace,
     simulator_trace_events,
     span_trace_events,
     write_chrome_trace,
+    write_merged_worker_trace,
+)
+from repro.obs.counters import (
+    COUNTERS,
+    ENGINE_COUNTERS,
+    EngineCounters,
+    counter_layers,
+)
+from repro.obs.recorder import (
+    FlightRecorder,
+    attach_post_mortem,
+    make_recorder,
+    recorder_level,
+    set_recorder_level,
 )
 from repro.obs.events import (
     BarrierArriveEvent,
@@ -45,8 +68,11 @@ from repro.obs.sinks import (
     NULL_SINK,
     CallbackSink,
     EventSink,
+    JsonlSink,
     ListSink,
     NullSink,
+    ambient_sink,
+    set_ambient_sink,
 )
 from repro.obs.spans import IRStats, Span, SpanRecorder, module_stats
 
@@ -54,12 +80,17 @@ __all__ = [
     "ACTIVE",
     "BarrierArriveEvent",
     "BarrierReleaseEvent",
+    "COUNTERS",
     "CallbackSink",
     "DivergeEvent",
+    "ENGINE_COUNTERS",
+    "EngineCounters",
     "EventSink",
+    "FlightRecorder",
     "Histogram",
     "IRStats",
     "IssueEvent",
+    "JsonlSink",
     "LaunchMetrics",
     "ListSink",
     "NULL_SINK",
@@ -72,9 +103,18 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "TraceEvent",
+    "ambient_sink",
+    "attach_post_mortem",
     "chrome_trace",
+    "counter_layers",
+    "make_recorder",
+    "merged_worker_trace",
     "module_stats",
+    "recorder_level",
+    "set_ambient_sink",
+    "set_recorder_level",
     "simulator_trace_events",
     "span_trace_events",
     "write_chrome_trace",
+    "write_merged_worker_trace",
 ]

@@ -26,10 +26,15 @@ from __future__ import annotations
 import json
 
 __all__ = ["chrome_trace", "write_chrome_trace",
-           "simulator_trace_events", "span_trace_events"]
+           "simulator_trace_events", "span_trace_events",
+           "merged_worker_trace", "write_merged_worker_trace"]
 
 COMPILER_PID = 0
 SIMULATOR_PID = 1
+
+#: Worker processes in a merged multi-worker trace start at this pid so
+#: they never collide with the compiler (0) / simulator (1) rows.
+WORKER_PID_BASE = 10
 
 
 def _lanes(lanes):
@@ -151,15 +156,23 @@ def span_trace_events(spans, pid=COMPILER_PID):
         "args": {"name": "passes"},
     }]
     for span in spans:
+        # An unclosed span (``end`` never stamped) would render with a
+        # negative duration, which chrome://tracing rejects; clamp to a
+        # zero-length slice and flag it instead of dropping the span.
+        duration = span.duration
+        args = {"ir_delta": span.ir_delta}
+        if duration < 0:
+            duration = 0.0
+            args["unclosed"] = True
         out.append({
             "name": span.name,
             "cat": "compile",
             "ph": "X",
             "ts": span.start * 1e6,
-            "dur": span.duration * 1e6,
+            "dur": duration * 1e6,
             "pid": pid,
             "tid": 0,
-            "args": {"ir_delta": span.ir_delta},
+            "args": args,
         })
     return out
 
@@ -194,6 +207,62 @@ def write_chrome_trace(path, launch=None, events=None, report=None,
     """Serialize :func:`chrome_trace` to ``path``; returns the dict."""
     data = chrome_trace(
         launch=launch, events=events, report=report, counters=counters
+    )
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=1)
+    return data
+
+
+def merged_worker_trace(worker_events, labels=None, report=None,
+                        counters=False):
+    """Merge per-worker event streams into one multi-process trace.
+
+    Args:
+        worker_events: a list of event iterables, one per worker, in
+            submission order (``run_tasks_observed`` report order). Each
+            worker becomes its own Chrome process (pid
+            ``WORKER_PID_BASE + index``), so warp ids — which restart at
+            0 in every worker and would otherwise collide as tids — stay
+            distinguishable: the (pid, tid) pair is unique even when the
+            tids themselves repeat across workers.
+        labels: optional per-worker display names (e.g. ``"worker 3
+            (pid 12345)"``); defaults to the worker index.
+        report: optional CompileReport; its spans render as the shared
+            compiler track (pid 0).
+        counters: forwarded to :func:`simulator_trace_events`.
+    """
+    worker_events = list(worker_events)
+    trace_events = []
+    for index, events in enumerate(worker_events):
+        pid = WORKER_PID_BASE + index
+        label = None
+        if labels is not None and index < len(labels):
+            label = labels[index]
+        if label is None:
+            label = f"worker {index}"
+        worker = simulator_trace_events(events, pid=pid, counters=counters)
+        for entry in worker:
+            if entry.get("ph") == "M" and entry["name"] == "process_name":
+                entry["args"]["name"] = f"{label} (cycles as us)"
+        trace_events.extend(worker)
+    spans = getattr(report, "spans", None) or []
+    if spans:
+        trace_events.extend(span_trace_events(spans))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs.chrome_trace",
+            "workers": len(worker_events),
+        },
+    }
+
+
+def write_merged_worker_trace(path, worker_events, labels=None, report=None,
+                              counters=False):
+    """Serialize :func:`merged_worker_trace` to ``path``; returns the dict."""
+    data = merged_worker_trace(
+        worker_events, labels=labels, report=report, counters=counters
     )
     with open(path, "w") as handle:
         json.dump(data, handle, indent=1)

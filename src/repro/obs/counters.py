@@ -1,0 +1,202 @@
+"""Engine-wide layered counters: always-on, near-zero-overhead telemetry.
+
+Every performance layer the engine grew since PR 1 — fastpath pre-decode,
+the pass manager, segment fusion, warp batching, the compile cache, the
+persistent worker pool — kept its own ad-hoc diagnostics. This module
+unifies them behind one process-global registry, :data:`ENGINE_COUNTERS`,
+in the style of hardware performance counters: each counter is a **plain
+int attribute** on one shared object, so a hot-site increment is a single
+``+= 1`` with no allocation, no dict lookup, and no string hashing.
+
+Counters are namespaced ``layer.name`` (see :data:`COUNTERS` for the
+registry with descriptions) and are *cumulative per process*. Consumers
+snapshot and diff::
+
+    from repro.obs.counters import ENGINE_COUNTERS, snapshot, delta
+
+    before = snapshot()
+    ...                       # run launches, sweeps, compiles
+    moved = delta(snapshot(), before)
+
+Per-launch values (segment fusion coverage, batch epochs/rollbacks) come
+from the launch's own profiler via ``Profiler.engine_counters()`` and are
+folded into the global registry when the launch returns, so both views —
+"this launch" and "this process so far" — stay consistent.
+
+Cross-process aggregation (``repro.harness.parallel`` workers) serializes
+snapshots back to the parent, which merges them via :func:`merge`;
+snapshots are
+plain ``{name: int}`` dicts for exactly that reason. The ``tools.stats``
+CLI renders either view as a per-layer table and diffs saved snapshots.
+
+Counters describe the **engine**, never the simulated program — results
+are bit-identical with any mix of counter consumers attached (the
+conformance matrix pins this).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "COUNTERS",
+    "ENGINE_COUNTERS",
+    "EngineCounters",
+    "counter_layers",
+    "delta",
+    "merge",
+    "reset",
+    "snapshot",
+]
+
+#: Registry of every namespaced counter: ``"layer.name" -> description``.
+#: The attribute on :class:`EngineCounters` is the name with dots
+#: replaced by underscores (``fastpath.decode_cache_hit`` ->
+#: ``fastpath_decode_cache_hit``).
+COUNTERS = {
+    # --- fastpath: pre-decoded program cache (repro.simt.fastpath) ----
+    "fastpath.decode_cache_hit":
+        "decode_program() served a cached DecodedProgram",
+    "fastpath.decode_cache_miss":
+        "decode_program() built (or rebuilt) a DecodedProgram",
+    # --- segments: fused straight-line execution (repro.simt.segments)
+    "segments.fused_instrs":
+        "issue slots retired through fused segments",
+    "segments.fallback_instrs":
+        "issue slots retired one instruction at a time",
+    "segments.fused_segments":
+        "fused segment executions (bursts)",
+    # --- batch: lockstep multi-warp epochs (repro.simt.batch) ---------
+    "batch.epochs":
+        "lockstep epochs attempted across live warps",
+    "batch.rollbacks":
+        "epochs undone by the write-set guard and replayed per slot",
+    "batch.disjoint_launches":
+        "launches whose memory footprints were proven disjoint",
+    "batch.guarded_launches":
+        "launches batched optimistically under the write-set guard",
+    "batch.guard_disables":
+        "launches where a conflict streak switched batching off",
+    # --- program_cache: compile memoization (repro.core.program_cache)
+    "program_cache.hit":
+        "compile_cached() served a shared CompiledProgram",
+    "program_cache.miss":
+        "compile_cached() ran the full pass pipeline",
+    # --- passmgr: analysis caching (repro.core.passmgr) ---------------
+    "passmgr.analysis_hit":
+        "AnalysisManager.get() served a cached analysis",
+    "passmgr.analysis_recompute":
+        "AnalysisManager.get() recomputed an analysis",
+    # --- pool: persistent worker pool (repro.harness.parallel) --------
+    "pool.tasks":
+        "tasks submitted to the persistent worker pool",
+    "pool.reuses":
+        "parallel runs that reused the live pool (no refork)",
+    "pool.teardowns":
+        "pool teardowns (knob change, error, or shutdown)",
+    # --- launch: top-level machine activity (repro.simt.machine) ------
+    "launch.count":
+        "kernel launches completed",
+    "launch.errors":
+        "launches aborted by LaunchError/DeadlockError",
+}
+
+#: Layer prefixes in display order (the per-layer tables follow this).
+LAYERS = (
+    "fastpath", "segments", "batch", "program_cache", "passmgr", "pool",
+    "launch",
+)
+
+
+def _attr(name):
+    return name.replace(".", "_")
+
+
+class EngineCounters:
+    """The shared counter object. Hot sites increment attributes directly
+    (``ENGINE_COUNTERS.fastpath_decode_cache_hit += 1``); everything else
+    goes through :meth:`snapshot`/:meth:`merge`/:meth:`reset`."""
+
+    __slots__ = tuple(_attr(name) for name in COUNTERS)
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        """Zero every counter (tests and long-lived servers)."""
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self):
+        """A plain ``{namespaced name: int}`` dict (picklable, JSON-safe)."""
+        return {name: getattr(self, _attr(name)) for name in COUNTERS}
+
+    def merge(self, snap):
+        """Fold a snapshot (e.g. from a worker process) into this registry.
+
+        Unknown keys are ignored so snapshots from newer/older processes
+        merge without raising.
+        """
+        for name, value in snap.items():
+            attr = _attr(name)
+            if attr in self.__slots__:
+                setattr(self, attr, getattr(self, attr) + int(value))
+
+
+#: The process-global registry every engine layer increments.
+ENGINE_COUNTERS = EngineCounters()
+
+
+def snapshot():
+    """Snapshot of :data:`ENGINE_COUNTERS` as a plain dict."""
+    return ENGINE_COUNTERS.snapshot()
+
+
+def reset():
+    """Zero the global registry (tests; never needed for correctness)."""
+    ENGINE_COUNTERS.reset()
+
+
+def delta(after, before):
+    """``after - before`` per counter over the union of keys."""
+    keys = set(after) | set(before)
+    return {
+        name: int(after.get(name, 0)) - int(before.get(name, 0))
+        for name in sorted(keys)
+    }
+
+
+def merge(snapshots):
+    """Sum an iterable of snapshots into one aggregate dict."""
+    total = {}
+    for snap in snapshots:
+        for name, value in snap.items():
+            total[name] = total.get(name, 0) + int(value)
+    return total
+
+
+def counter_layers(snap=None):
+    """Group a snapshot by layer prefix: ``{layer: {name: value}}``.
+
+    Layers appear in :data:`LAYERS` order first, then any unknown
+    prefixes alphabetically (forward compatibility with merged
+    snapshots from newer processes). Derived ratios (segment fusion
+    coverage) are computed here, not stored, so raw snapshots stay
+    integer-valued and mergeable.
+    """
+    snap = snapshot() if snap is None else snap
+    layers = {}
+    for name, value in snap.items():
+        layer, _, _ = name.partition(".")
+        layers.setdefault(layer, {})[name] = value
+    fused = snap.get("segments.fused_instrs", 0)
+    fallback = snap.get("segments.fallback_instrs", 0)
+    if fused or fallback:
+        layers.setdefault("segments", {})["segments.coverage"] = (
+            fused / (fused + fallback)
+        )
+    ordered = {}
+    for layer in LAYERS:
+        if layer in layers:
+            ordered[layer] = dict(sorted(layers.pop(layer).items()))
+    for layer in sorted(layers):
+        ordered[layer] = dict(sorted(layers[layer].items()))
+    return ordered

@@ -54,6 +54,8 @@ import os
 from contextlib import contextmanager
 
 from repro.analysis.memeffects import classify_launch
+from repro.obs.counters import ENGINE_COUNTERS
+from repro.obs.recorder import dump_post_mortem
 from repro.simt.memory import FootprintMemory, FootprintOverflow
 from repro.simt.warp import WARP_SIZE
 
@@ -120,9 +122,15 @@ def make_batcher(machine, executor, scheduler, kernel_name, args, n_threads):
     classification = classify_launch(
         machine.module, kernel_name, tuple(args), n_threads
     )
-    return WarpBatcher(
-        machine, executor, scheduler, guarded=(classification != "disjoint")
-    )
+    guarded = classification != "disjoint"
+    if guarded:
+        ENGINE_COUNTERS.batch_guarded_launches += 1
+    else:
+        ENGINE_COUNTERS.batch_disjoint_launches += 1
+    recorder = machine._recorder
+    if recorder is not None:
+        recorder.record("batch-classify", {"classification": classification})
+    return WarpBatcher(machine, executor, scheduler, guarded=guarded)
 
 
 class WarpBatcher:
@@ -203,14 +211,32 @@ class WarpBatcher:
 
         profiler = self.profiler
         profiler.batch_epochs += 1
+        recorder = self.machine._recorder
         if committed:
             self._streak = 0
+            if recorder is not None and recorder.verbose:
+                recorder.record(
+                    "epoch-commit",
+                    {"warps": len(plan), "slots": length},
+                )
         else:
             profiler.batch_rollbacks += 1
             self._streak += 1
+            if recorder is not None:
+                recorder.record(
+                    "epoch-rollback",
+                    {"warps": len(plan), "slots": length,
+                     "streak": self._streak},
+                )
             if self._streak >= _MAX_CONFLICT_STREAK:
                 # Persistent sharing: stop guessing for this launch.
                 self.enabled = False
+                ENGINE_COUNTERS.batch_guard_disables += 1
+                if recorder is not None:
+                    recorder.record(
+                        "guard-disable", {"streak": self._streak}
+                    )
+                    dump_post_mortem(recorder, "guard-disable")
         return issues + total
 
     # ------------------------------------------------------------------

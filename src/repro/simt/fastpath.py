@@ -50,6 +50,7 @@ from contextlib import contextmanager
 
 from repro.errors import SimulationError
 from repro.ir.function import structure_token
+from repro.obs.counters import ENGINE_COUNTERS
 from repro.ir.instructions import Barrier, Imm, Opcode, Reg
 from repro.simt.barrier_state import ALL_MEMBERS
 from repro.simt.executor import (
@@ -772,12 +773,16 @@ def decode_program(module, cost_model):
         per_module = _DECODE_CACHE.setdefault(module, {})
     except TypeError:
         # Module not weak-referenceable: decode without caching.
+        ENGINE_COUNTERS.fastpath_decode_cache_miss += 1
         return DecodedProgram(module, cost_model)
     key = _cost_key(cost_model)
     program = per_module.get(key)
     if program is None or program.token != structure_token(module):
+        ENGINE_COUNTERS.fastpath_decode_cache_miss += 1
         program = DecodedProgram(module, cost_model)
         per_module[key] = program
+    else:
+        ENGINE_COUNTERS.fastpath_decode_cache_hit += 1
     return program
 
 

@@ -10,10 +10,13 @@ traces used by correctness tests.
 from __future__ import annotations
 
 import operator
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.errors import DeadlockError, LaunchError
+from repro.errors import DeadlockError, LaunchError, SimulationError
+from repro.obs.counters import ENGINE_COUNTERS
 from repro.obs.metrics import LaunchMetrics
+from repro.obs.recorder import attach_post_mortem, make_recorder
+from repro.obs.sinks import ambient_sink
 from repro.simt.costs import DEFAULT_COST_MODEL
 from repro.simt.executor import Executor
 from repro.simt.memory import GlobalMemory
@@ -29,6 +32,20 @@ DEFAULT_MAX_ISSUES = 20_000_000
 _by_lane = operator.attrgetter("lane")
 
 
+def _fold_launch_counters(counters):
+    """Fold one launch's profiler-derived counters into the process-global
+    registry (launch end only — never on the per-issue path)."""
+    ENGINE_COUNTERS.segments_fused_instrs += counters["segments.fused_instrs"]
+    ENGINE_COUNTERS.segments_fallback_instrs += (
+        counters["segments.fallback_instrs"]
+    )
+    ENGINE_COUNTERS.segments_fused_segments += (
+        counters["segments.fused_segments"]
+    )
+    ENGINE_COUNTERS.batch_epochs += counters["batch.epochs"]
+    ENGINE_COUNTERS.batch_rollbacks += counters["batch.rollbacks"]
+
+
 @dataclass
 class LaunchResult:
     """Everything observable about one kernel launch."""
@@ -38,6 +55,11 @@ class LaunchResult:
     profiler: Profiler
     memory: GlobalMemory
     threads: list
+    #: per-launch engine-layer counters (Profiler.engine_counters());
+    #: telemetry only, never part of the simulated result
+    counters: dict = field(default=None, repr=False)
+    #: the launch's FlightRecorder (None when recording is off)
+    flight_recorder: object = field(default=None, repr=False)
 
     @property
     def simt_efficiency(self):
@@ -76,6 +98,7 @@ class GPUMachine:
         fastpath=None,
         segments=None,
         warp_batch=None,
+        flight_recorder=None,
     ):
         self.module = module
         self.cost_model = cost_model or DEFAULT_COST_MODEL
@@ -95,6 +118,11 @@ class GPUMachine:
         self.trace = trace
         self.sink = sink
         self.metrics = metrics
+        # None defers to the global repro.obs.recorder level; True/False
+        # and the level strings ("on"/"off"/"verbose") force it.
+        self.flight_recorder = flight_recorder
+        #: the active launch's recorder (the batcher records into it)
+        self._recorder = None
 
     def launch(self, kernel_name, n_threads, args=(), memory=None):
         kernel = self.module.function(kernel_name)
@@ -111,9 +139,13 @@ class GPUMachine:
         profiler = Profiler(trace=self.trace)
         metrics = LaunchMetrics() if self.metrics else None
         profiler.metrics = metrics
+        # Machines built without an explicit sink pick up the ambient one
+        # (the parallel harness installs one around observed worker tasks
+        # so --jobs sweeps stream events back to the parent).
+        sink = self.sink if self.sink is not None else ambient_sink()
         executor = Executor(
             self.module, memory, self.cost_model, profiler,
-            sink=self.sink, metrics=metrics, fastpath=self.fastpath,
+            sink=sink, metrics=metrics, fastpath=self.fastpath,
             segments=self.segments,
         )
         scheduler = make_scheduler(self.scheduler_name)
@@ -129,6 +161,14 @@ class GPUMachine:
             warps.append(Warp(warp_id, threads))
             all_threads.extend(threads)
 
+        recorder = make_recorder(kernel_name, n_threads, self.flight_recorder)
+        self._recorder = recorder
+        if recorder is not None:
+            recorder.record(
+                "launch", {"kernel": kernel_name, "n_threads": n_threads,
+                           "warps": len(warps)}
+            )
+
         batcher = None
         if len(warps) > 1:
             from repro.simt.batch import make_batcher
@@ -139,47 +179,86 @@ class GPUMachine:
 
         issues = 0
         live_warps = list(warps)
-        while live_warps:
-            if len(live_warps) == 1 and executor.segment_at is not None:
-                # Exactly one live warp (single-warp launch, or the tail of
-                # a multi-warp one): nothing can interleave with it, so
-                # segment fusion cannot perturb cross-warp memory order.
-                self._run_exclusive(
-                    live_warps[0], executor, scheduler, issues, kernel_name
-                )
-                break
-            if batcher is not None:
-                # Lockstep epoch: every live warp advances the same number
-                # of fused slots, with memory disjointness proven statically
-                # or enforced by the optimistic write-set guard. Falls
-                # through to one ordinary per-slot round when it cannot
-                # engage (non-forced pick, no segment, drain needed, ...).
-                advanced = batcher.try_epoch(live_warps, issues)
-                if advanced is not None:
-                    # Segment ops cannot exit or park, so the live set is
-                    # unchanged.
-                    issues = advanced
-                    continue
-            progressed = []
-            for warp in live_warps:
-                if self._step(warp, executor, scheduler):
-                    issues += 1
-                    if issues > self.max_issues:
-                        raise LaunchError(
-                            f"@{kernel_name} exceeded {self.max_issues} issue "
-                            "slots; likely an infinite loop"
-                        )
-                if not warp.done:
-                    progressed.append(warp)
-            live_warps = progressed
+        try:
+            while live_warps:
+                if len(live_warps) == 1 and executor.segment_at is not None:
+                    # Exactly one live warp (single-warp launch, or the
+                    # tail of a multi-warp one): nothing can interleave
+                    # with it, so segment fusion cannot perturb cross-warp
+                    # memory order.
+                    self._run_exclusive(
+                        live_warps[0], executor, scheduler, issues,
+                        kernel_name
+                    )
+                    break
+                if batcher is not None:
+                    # Lockstep epoch: every live warp advances the same
+                    # number of fused slots, with memory disjointness
+                    # proven statically or enforced by the optimistic
+                    # write-set guard. Falls through to one ordinary
+                    # per-slot round when it cannot engage (non-forced
+                    # pick, no segment, drain needed, ...).
+                    advanced = batcher.try_epoch(live_warps, issues)
+                    if advanced is not None:
+                        # Segment ops cannot exit or park, so the live set
+                        # is unchanged.
+                        issues = advanced
+                        continue
+                progressed = []
+                for warp in live_warps:
+                    if self._step(warp, executor, scheduler):
+                        issues += 1
+                        if issues > self.max_issues:
+                            raise LaunchError(
+                                f"@{kernel_name} exceeded {self.max_issues} "
+                                "issue slots; likely an infinite loop"
+                            )
+                    if not warp.done:
+                        progressed.append(warp)
+                live_warps = progressed
+        except SimulationError as exc:
+            self._abort_launch(exc, recorder, profiler, sink)
+            raise
+        finally:
+            self._recorder = None
 
+        counters = profiler.engine_counters()
+        _fold_launch_counters(counters)
+        ENGINE_COUNTERS.launch_count += 1
+        if recorder is not None:
+            recorder.record(
+                "launch-end",
+                {"issued": profiler.issued, "cycles": profiler.total_cycles},
+            )
         return LaunchResult(
             kernel=kernel_name,
             n_threads=n_threads,
             profiler=profiler,
             memory=memory,
             threads=all_threads,
+            counters=counters,
+            flight_recorder=recorder,
         )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _abort_launch(exc, recorder, profiler, sink):
+        """Death rites for a launch that raised mid-kernel: account the
+        failure, attach the flight-recorder post-mortem to the error, and
+        finalize the sink so a file-backed trace keeps the events leading
+        up to the failure instead of silently losing them."""
+        ENGINE_COUNTERS.launch_errors += 1
+        if recorder is not None:
+            recorder.record(
+                "error",
+                {"type": type(exc).__name__, "issued": profiler.issued},
+            )
+        attach_post_mortem(exc, recorder)
+        if sink is not None:
+            try:
+                sink.close()
+            except Exception:  # pragma: no cover - must not mask the error
+                pass
 
     # ------------------------------------------------------------------
     def _run_exclusive(self, warp, executor, scheduler, issues, kernel_name):
@@ -197,6 +276,8 @@ class GPUMachine:
         program_order = executor.program_order
         profiler = executor.profiler
         max_issues = self.max_issues
+        recorder = self._recorder
+        verbose = recorder is not None and recorder.verbose
         while not warp.done:
             groups = warp.groups_cache
             if groups is None:
@@ -217,6 +298,12 @@ class GPUMachine:
                         profiler.record_segment(
                             warp.warp_id, pc, segment, len(group), cycles
                         )
+                        if verbose:
+                            recorder.record(
+                                "segment",
+                                {"warp": warp.warp_id, "pc": list(pc),
+                                 "slots": n},
+                            )
                         warp.cycles += cycles
                         issues += n
                         if issues > max_issues:

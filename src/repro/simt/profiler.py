@@ -155,8 +155,33 @@ class Profiler:
         }
         return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
 
+    def engine_counters(self):
+        """This launch's engine-layer counters, namespaced like
+        :data:`repro.obs.counters.COUNTERS`. These describe how the
+        *engine* executed the launch (fusion coverage, batch epochs), not
+        the simulated program — results are identical whatever they say.
+        """
+        fused = self.fused_issues
+        fallback = self.issued - fused
+        total = fused + fallback
+        return {
+            "segments.fused_instrs": fused,
+            "segments.fallback_instrs": fallback,
+            "segments.fused_segments": self.fused_segments,
+            "segments.coverage": fused / total if total else 0.0,
+            "batch.epochs": self.batch_epochs,
+            "batch.rollbacks": self.batch_rollbacks,
+        }
+
     def summary(self):
-        """Launch digest; stall attribution appears when metrics were on."""
+        """Launch digest; stall attribution appears when metrics were on.
+
+        The ``counters`` entry is engine telemetry (fusion coverage,
+        batch epochs) and therefore *varies* with engine knobs even
+        though every other field is invariant; consumers comparing
+        summaries across engine configurations must drop it (as the
+        conformance fingerprint does).
+        """
         return {
             "issued": self.issued,
             "cycles": self.total_cycles,
@@ -167,4 +192,5 @@ class Profiler:
             "stall_cycles": (
                 self.metrics.stall_cycles() if self.metrics is not None else {}
             ),
+            "counters": self.engine_counters(),
         }

@@ -23,11 +23,17 @@ from repro.analysis.cfg_utils import CFGView
 from repro.analysis.dominators import compute_post_dominators
 from repro.errors import LaunchError, SimulationError
 from repro.ir.instructions import Opcode
+from repro.obs.counters import ENGINE_COUNTERS
 from repro.obs.events import ReconvergeEvent
 from repro.obs.metrics import LaunchMetrics
+from repro.obs.sinks import ambient_sink
 from repro.simt.costs import DEFAULT_COST_MODEL
 from repro.simt.executor import Executor
-from repro.simt.machine import DEFAULT_MAX_ISSUES, LaunchResult
+from repro.simt.machine import (
+    DEFAULT_MAX_ISSUES,
+    LaunchResult,
+    _fold_launch_counters,
+)
 from repro.simt.memory import GlobalMemory
 from repro.simt.profiler import Profiler
 from repro.simt.warp import WARP_SIZE, Thread, Warp
@@ -101,35 +107,51 @@ class StackGPUMachine:
         profiler = Profiler(trace=self.trace)
         metrics = LaunchMetrics() if self.metrics else None
         profiler.metrics = metrics
+        sink = self.sink if self.sink is not None else ambient_sink()
         executor = Executor(
             self.module, memory, self.cost_model, profiler,
-            sink=self.sink, metrics=metrics, fastpath=self.fastpath,
+            sink=sink, metrics=metrics, fastpath=self.fastpath,
             segments=self.segments,
         )
 
         all_threads = []
         issues = 0
-        for base in range(0, n_threads, WARP_SIZE):
-            warp_id = base // WARP_SIZE
-            threads = [
-                Thread(tid, tid - base, warp_id, kernel, args, self.seed)
-                for tid in range(base, min(base + WARP_SIZE, n_threads))
-            ]
-            warp = Warp(warp_id, threads)
-            all_threads.extend(threads)
-            issues += self._run_warp(warp, executor)
-            if issues > self.max_issues:
-                raise LaunchError(
-                    f"@{kernel_name} exceeded {self.max_issues} issue "
-                    "slots; likely an infinite loop"
-                )
+        try:
+            for base in range(0, n_threads, WARP_SIZE):
+                warp_id = base // WARP_SIZE
+                threads = [
+                    Thread(tid, tid - base, warp_id, kernel, args, self.seed)
+                    for tid in range(base, min(base + WARP_SIZE, n_threads))
+                ]
+                warp = Warp(warp_id, threads)
+                all_threads.extend(threads)
+                issues += self._run_warp(warp, executor)
+                if issues > self.max_issues:
+                    raise LaunchError(
+                        f"@{kernel_name} exceeded {self.max_issues} issue "
+                        "slots; likely an infinite loop"
+                    )
+        except SimulationError:
+            # Same death rites as GPUMachine: account the failure and
+            # finalize the sink so a file-backed partial trace survives.
+            ENGINE_COUNTERS.launch_errors += 1
+            if sink is not None:
+                try:
+                    sink.close()
+                except Exception:  # pragma: no cover
+                    pass
+            raise
 
+        counters = profiler.engine_counters()
+        _fold_launch_counters(counters)
+        ENGINE_COUNTERS.launch_count += 1
         return LaunchResult(
             kernel=kernel_name,
             n_threads=n_threads,
             profiler=profiler,
             memory=memory,
             threads=all_threads,
+            counters=counters,
         )
 
     # ------------------------------------------------------------------

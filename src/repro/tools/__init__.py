@@ -1,2 +1,4 @@
-"""Command-line tools: the srkc compiler driver and the trace exporter
-(``python -m repro.tools.trace`` — see docs/observability.md)."""
+"""Command-line tools: the srkc compiler driver, the trace exporter
+(``python -m repro.tools.trace``), and the engine-counter reporter
+(``python -m repro.tools.stats`` — per-layer counter tables, saved
+snapshots, and snapshot diffs). See docs/observability.md."""

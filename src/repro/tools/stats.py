@@ -1,0 +1,255 @@
+"""stats — engine-layer counter reports, snapshots, and diffs.
+
+Renders the :mod:`repro.obs.counters` registry as a per-layer table so a
+sweep answers "which engine layer did the work" (and, across two saved
+snapshots, "which layer moved")::
+
+    # one workload launch: per-launch + process counters
+    python -m repro.tools.stats funccall --mode sr
+
+    # a corpus sweep, optionally parallel; save the aggregate snapshot
+    python -m repro.tools.stats --sweep --jobs 4 --json counters.json
+
+    # the same sweep with per-worker event capture merged into one
+    # chrome://tracing timeline (one process row per worker)
+    python -m repro.tools.stats --sweep --jobs 4 --events \\
+        --trace merged.json
+
+    # which layer moved between two saved snapshots?
+    python -m repro.tools.stats --diff before.json after.json
+
+Counters describe the engine, not the simulated program: fusion coverage
+and cache hit rates vary with knobs (``REPRO_FASTPATH``,
+``REPRO_SEGMENTS``, ...) while results stay bit-identical. ``--events``
+flips launches into observing mode, which disables segment fusion and
+warp batching for the observed launches — use it for timelines, not for
+representative fusion/batching counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.pipeline import MODES
+from repro.harness.parallel import run_tasks_observed, task
+from repro.harness.report import (
+    counters_delta_table,
+    counters_table,
+    format_table,
+)
+from repro.obs import counters as obs_counters
+from repro.obs.chrome_trace import write_merged_worker_trace
+from repro.simt.scheduler import SCHEDULERS
+from repro.workloads import get_workload, workload_names
+
+#: Default sweep corpus: every registered workload in both compile modes.
+_SWEEP_MODES = ("baseline", "sr")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.stats",
+        description=(
+            "Report per-layer engine counters for a launch, a corpus "
+            "sweep, or the diff of two saved snapshots."
+        ),
+    )
+    parser.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload name to run once (see python -m repro.tools.trace "
+             "--list); or use --sweep / --diff",
+    )
+    parser.add_argument("--mode", default="sr", choices=MODES)
+    parser.add_argument(
+        "--threshold", type=int, default=None,
+        help="soft-barrier threshold (default: workload's choice)",
+    )
+    parser.add_argument(
+        "--scheduler", default="convergence", choices=sorted(SCHEDULERS)
+    )
+    parser.add_argument("--threads", type=int, default=None,
+                        help="launch width (default: workload's)")
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="run every workload in baseline and sr mode",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=None, metavar="NAME",
+        help="restrict --sweep to these workloads",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for --sweep (default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--events", action="store_true",
+        help="capture simulator events per worker during --sweep "
+             "(needed for --trace; disables fusion in observed launches)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the merged multi-worker Chrome trace (implies --events)",
+    )
+    parser.add_argument(
+        "--per-worker", action="store_true",
+        help="also print one counter-delta table per worker process",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="save the counter snapshot as JSON (for --diff / compare.py)",
+    )
+    parser.add_argument(
+        "--diff", nargs=2, default=None, metavar=("A", "B"),
+        help="print per-layer counter deltas between two saved snapshots",
+    )
+    return parser
+
+
+def _save_snapshot(path, counters, meta):
+    payload = {"kind": "repro.stats", "counters": counters}
+    payload.update(meta)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    print(f"wrote {path}")
+
+
+def _load_snapshot(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    # Accept bare snapshots, tools.stats files, and BENCH_*.json records.
+    if isinstance(data, dict) and isinstance(data.get("counters"), dict):
+        return data["counters"]
+    if not isinstance(data, dict):
+        raise SystemExit(f"error: {path} is not a counter snapshot")
+    return data
+
+
+def _run_diff(path_a, path_b):
+    before = _load_snapshot(path_a)
+    after = _load_snapshot(path_b)
+    print(counters_delta_table(
+        after, before, title=f"Engine counter deltas ({path_b} - {path_a})",
+        skip_zero=True,
+    ))
+    return 0
+
+
+def _run_single(args):
+    workload = get_workload(args.workload)
+    if args.threads is not None:
+        workload.n_threads = args.threads
+    threshold = args.threshold if args.threshold is not None else "default"
+    before = obs_counters.snapshot()
+    result = workload.run(
+        mode=args.mode, threshold=threshold, scheduler=args.scheduler,
+        seed=args.seed,
+    )
+    moved = obs_counters.delta(obs_counters.snapshot(), before)
+    launch = result.launch
+    print(
+        f"[{args.mode}] {launch.kernel}: SIMT efficiency "
+        f"{launch.simt_efficiency:.1%}, cycles {launch.cycles}, "
+        f"issued {launch.profiler.issued}"
+    )
+    print()
+    print(counters_table(launch.counters, title="Launch counters"))
+    print()
+    print(counters_table(moved, title="Process counter delta (this run)"))
+    if args.json:
+        _save_snapshot(args.json, moved, {
+            "workload": args.workload, "mode": args.mode, "seed": args.seed,
+        })
+    return 0
+
+
+def _sweep_point(name, mode, seed):
+    """Module-level sweep task (workers import it by reference)."""
+    result = get_workload(name).run(mode=mode, seed=seed)
+    return {
+        "workload": name,
+        "mode": mode,
+        "cycles": result.cycles,
+        "simt_efficiency": result.simt_efficiency,
+    }
+
+
+def _run_sweep(args):
+    names = args.workloads or workload_names()
+    unknown = sorted(set(names) - set(workload_names()))
+    if unknown:
+        raise SystemExit(f"error: unknown workloads {unknown}")
+    events = args.events or args.trace is not None
+    tasks = [
+        task(_sweep_point, name, mode, args.seed)
+        for name in names
+        for mode in _SWEEP_MODES
+    ]
+    before = obs_counters.snapshot()
+    results, reports = run_tasks_observed(
+        tasks, jobs=args.jobs, events=events
+    )
+    aggregate = obs_counters.merge(rep["counters"] for rep in reports)
+
+    rows = [
+        (r["workload"], r["mode"], r["cycles"], f"{r['simt_efficiency']:.1%}")
+        for r in results
+    ]
+    print(format_table(
+        ["workload", "mode", "cycles", "simt eff"], rows,
+        title=f"Corpus sweep ({len(results)} points)",
+    ))
+    print()
+    print(counters_table(aggregate, title="Aggregate engine counters"))
+
+    workers = sorted({rep["pid"] for rep in reports})
+    print()
+    print(f"workers: {len(workers)} (pids {workers})")
+    if args.per_worker and len(workers) > 1:
+        for pid in workers:
+            per = obs_counters.merge(
+                rep["counters"] for rep in reports if rep["pid"] == pid
+            )
+            print()
+            print(counters_table(per, title=f"Worker pid {pid}"))
+
+    if args.trace:
+        # One event stream per worker pid, submission order within each.
+        streams, labels = [], []
+        for pid in workers:
+            streams.append([
+                event
+                for rep in reports
+                if rep["pid"] == pid
+                for event in rep["events"]
+            ])
+            labels.append(f"worker pid {pid}")
+        data = write_merged_worker_trace(args.trace, streams, labels=labels)
+        print(f"wrote {args.trace} ({len(data['traceEvents'])} trace events)")
+
+    if args.json:
+        _save_snapshot(args.json, aggregate, {
+            "sweep": names, "modes": list(_SWEEP_MODES), "seed": args.seed,
+            "jobs": args.jobs, "events": events,
+            "process_delta": obs_counters.delta(
+                obs_counters.snapshot(), before
+            ),
+        })
+    return 0
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.diff is not None:
+        return _run_diff(*args.diff)
+    if args.sweep:
+        return _run_sweep(args)
+    if args.workload is None:
+        build_parser().error("give a WORKLOAD, --sweep, or --diff A B")
+    return _run_single(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

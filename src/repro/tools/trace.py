@@ -24,6 +24,7 @@ import sys
 from repro.core.pipeline import MODES, ReconvergenceCompiler
 from repro.frontend.parser import compile_kernel_source
 from repro.harness.report import (
+    counters_table,
     format_table,
     opcode_table,
     stall_table,
@@ -143,6 +144,44 @@ def _run_source(args, sink):
     return launch, compiled.report
 
 
+def _companion_counters(args):
+    """Engine-layer counters from an *un-instrumented* re-run.
+
+    The traced launch runs in observing mode, which disables segment
+    fusion and warp batching — its engine counters would read zero. A
+    second launch without observability shows what the engine actually
+    does for this kernel in production configuration (results are
+    bit-identical either way; only the engine telemetry differs).
+    """
+    if args.workload is not None:
+        workload = get_workload(args.workload)
+        threshold = (
+            args.threshold if args.threshold is not None else "default"
+        )
+        if args.threads is not None:
+            workload.n_threads = args.threads
+        result = workload.run(
+            mode=args.mode, threshold=threshold, scheduler=args.scheduler,
+            seed=args.seed,
+        )
+        return result.launch.counters
+    with open(args.source) as handle:
+        module = compile_kernel_source(handle.read(), module_name=args.source)
+    compiled = ReconvergenceCompiler().compile(
+        module, mode=args.mode, threshold=args.threshold
+    )
+    machine = GPUMachine(
+        compiled.module, scheduler=args.scheduler, seed=args.seed
+    )
+    launch = machine.launch(
+        compiled.module.kernels()[0].name,
+        args.threads or 32,
+        args=tuple(_parse_number(a) for a in args.args),
+        memory=GlobalMemory(),
+    )
+    return launch.counters
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.list:
@@ -195,6 +234,11 @@ def main(argv=None):
             ))
         print()
         print(opcode_table(summary["opcode_issues"]))
+        print()
+        print(counters_table(
+            _companion_counters(args),
+            title="Engine counters (un-instrumented companion run)",
+        ))
 
     if args.spans:
         print()

@@ -27,7 +27,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core import compile_baseline, compile_sr
-from repro.errors import LaunchError
+from repro.errors import DeadlockError, LaunchError
 from repro.frontend import compile_kernel_source
 from repro.frontend.lower import lower_program
 from repro.simt import (
@@ -86,6 +86,10 @@ def _fingerprint(launch):
     # Stall attribution only exists when metrics are on; everything else in
     # the summary must be independent of observability.
     summary.pop("stall_cycles", None)
+    # Engine telemetry (fusion coverage, batch epochs) intentionally varies
+    # with the engine configuration under test; the simulated result must
+    # not.
+    summary.pop("counters", None)
     return (
         launch.store_traces(),
         launch.retired_per_thread(),
@@ -337,9 +341,24 @@ class TestRandomKernelConformance:
         module = lower_program(program)
         compiled = compile_sr(module)
         for scheduler in sorted(SCHEDULERS):
-            serial = GPUMachine(
-                compiled.module, scheduler=scheduler, warp_batch=False
-            ).launch("k", 96)
+            try:
+                serial = GPUMachine(
+                    compiled.module, scheduler=scheduler, warp_batch=False
+                ).launch("k", 96)
+            except DeadlockError as serial_exc:
+                # The generator can produce kernels whose ticket-dependent
+                # barrier membership genuinely deadlocks. Conformance then
+                # means the batched engine deadlocks *identically* — same
+                # warp, same parked lanes — instead of completing.
+                with pytest.raises(DeadlockError) as batched_exc:
+                    GPUMachine(
+                        compiled.module, scheduler=scheduler, warp_batch=True
+                    ).launch("k", 96)
+                assert batched_exc.value.warp_id == serial_exc.warp_id
+                assert sorted(batched_exc.value.waiting) == sorted(
+                    serial_exc.waiting
+                ), scheduler
+                continue
             batched = GPUMachine(
                 compiled.module, scheduler=scheduler, warp_batch=True
             ).launch("k", 96)

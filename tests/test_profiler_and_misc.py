@@ -65,6 +65,7 @@ class TestProfiler:
             "avg_active_lanes",
             "opcode_issues",
             "stall_cycles",
+            "counters",
         }
         assert summary["avg_active_lanes"] == pytest.approx(32.0)
         assert summary["opcode_issues"]["st"] == 1

@@ -1,0 +1,465 @@
+"""Engine telemetry: layered counters, flight recorder, trace merging.
+
+Pins the observability PR's contracts:
+
+* the counter registry (snapshot/delta/merge/layers) and the hot-site
+  increments each engine layer owes it;
+* launches return their own counter view and fold it into the process
+  registry;
+* the flight recorder is a bounded ring whose post-mortem rides on
+  launch failures, and recording never perturbs results;
+* sinks are finalized on the error path so partial traces survive;
+* Chrome-trace edge cases: empty traces, unclosed spans, and merged
+  multi-worker streams with colliding warp tids;
+* ``run_tasks_observed`` brings worker counters and events home;
+* the ``tools.stats`` / ``tools.trace`` CLIs surface all of it.
+"""
+
+import json
+
+import pytest
+
+from repro import compile_kernel_source, compile_sr
+from repro.errors import LaunchError, SimulationError
+from repro.obs import IssueEvent, ListSink
+from repro.obs import counters as obs_counters
+from repro.obs.chrome_trace import (
+    WORKER_PID_BASE,
+    chrome_trace,
+    merged_worker_trace,
+    span_trace_events,
+)
+from repro.obs.counters import COUNTERS, ENGINE_COUNTERS, EngineCounters
+from repro.obs.recorder import (
+    FlightRecorder,
+    dump_post_mortem,
+    make_recorder,
+    recorder_level,
+    set_recorder_level,
+)
+from repro.obs.sinks import JsonlSink, ambient_sink, set_ambient_sink
+from repro.obs.spans import Span
+from repro.simt import GPUMachine
+from repro.workloads import get_workload
+
+DIVERGENT = """
+kernel k() {
+    let acc = 0.0;
+    let t = tid();
+    predict L1;
+    for i in 0..10 {
+        if (hash01(t * 13.0 + i) < 0.3) {
+            label L1: acc = acc + 1.0;
+            acc = fma(acc, 0.99, 0.5); acc = fma(acc, 0.99, 0.5);
+        }
+    }
+    store(t, acc);
+}
+"""
+
+
+def _sr_module():
+    return compile_sr(compile_kernel_source(DIVERGENT)).module
+
+
+# ---------------------------------------------------------------------------
+# Counter registry
+
+
+class TestCounterRegistry:
+    def test_snapshot_covers_every_registered_counter(self):
+        snap = obs_counters.snapshot()
+        assert set(snap) == set(COUNTERS)
+        assert all(isinstance(v, int) for v in snap.values())
+
+    def test_delta_and_merge_roundtrip(self):
+        a = {"launch.count": 3, "pool.tasks": 5}
+        b = {"launch.count": 1, "segments.fused_instrs": 2}
+        moved = obs_counters.delta(a, b)
+        assert moved["launch.count"] == 2
+        assert moved["pool.tasks"] == 5
+        assert moved["segments.fused_instrs"] == -2
+        total = obs_counters.merge([a, b, {"launch.count": 10}])
+        assert total["launch.count"] == 14
+        assert total["pool.tasks"] == 5
+
+    def test_registry_merge_ignores_unknown_keys(self):
+        counters = EngineCounters()
+        counters.merge({"launch.count": 2, "future.layer_thing": 9})
+        assert counters.launch_count == 2
+        counters.reset()
+        assert counters.snapshot()["launch.count"] == 0
+
+    def test_counter_layers_groups_and_derives_coverage(self):
+        snap = {name: 0 for name in COUNTERS}
+        snap["segments.fused_instrs"] = 75
+        snap["segments.fallback_instrs"] = 25
+        layers = obs_counters.counter_layers(snap)
+        assert list(layers)[:3] == ["fastpath", "segments", "batch"]
+        assert layers["segments"]["segments.coverage"] == pytest.approx(0.75)
+        # Derived, never stored: raw snapshots stay integer-valued.
+        assert "segments.coverage" not in obs_counters.snapshot()
+
+    def test_decode_and_program_cache_counters_move(self):
+        from repro.core.program_cache import PROGRAM_CACHE, compile_cached
+        from repro.frontend.parser import compile_kernel_source as cks
+
+        module = cks(DIVERGENT)
+        PROGRAM_CACHE.clear()
+        before = obs_counters.snapshot()
+        compile_cached(module, mode="sr", threshold=8)
+        compile_cached(module, mode="sr", threshold=8)
+        moved = obs_counters.delta(obs_counters.snapshot(), before)
+        assert moved["program_cache.miss"] >= 1
+        assert moved["program_cache.hit"] >= 1
+
+    def test_launch_increments_global_registry(self):
+        machine = GPUMachine(_sr_module())
+        before = obs_counters.snapshot()
+        machine.launch("k", 32)
+        moved = obs_counters.delta(obs_counters.snapshot(), before)
+        assert moved["launch.count"] == 1
+        assert moved["launch.errors"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Launch-level counters
+
+
+class TestLaunchCounters:
+    def test_launch_result_carries_counters(self):
+        result = GPUMachine(_sr_module()).launch("k", 32)
+        assert isinstance(result.counters, dict)
+        assert set(result.counters) >= {
+            "segments.fused_instrs", "segments.fallback_instrs",
+            "segments.coverage", "batch.epochs", "batch.rollbacks",
+        }
+        fused = result.counters["segments.fused_instrs"]
+        fallback = result.counters["segments.fallback_instrs"]
+        assert fused + fallback == result.profiler.issued
+
+    def test_summary_includes_counters(self):
+        result = GPUMachine(_sr_module()).launch("k", 32)
+        summary = result.profiler.summary()
+        assert summary["counters"] == result.counters
+
+    def test_workload_run_exposes_counters(self):
+        result = get_workload("mcb", steps=8).run(mode="sr")
+        assert result.launch.counters["segments.fused_instrs"] >= 0
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder
+
+
+class TestFlightRecorder:
+    def test_ring_bounds_and_orders_entries(self):
+        recorder = FlightRecorder(kernel="k", n_threads=32, capacity=4)
+        for i in range(10):
+            recorder.record("tick", i)
+        events = recorder.events()
+        assert len(events) == 4
+        assert [data for _, _, data in events] == [6, 7, 8, 9]
+        assert [seq for seq, _, _ in events] == [6, 7, 8, 9]
+        assert recorder.dropped == 6
+
+    def test_post_mortem_structure(self):
+        recorder = FlightRecorder(kernel="k", n_threads=8, capacity=8)
+        recorder.record("launch", {"n_threads": 8})
+        report = recorder.post_mortem(error=LaunchError("boom"))
+        assert report["kernel"] == "k"
+        assert report["recorded"] == 1 and report["dropped"] == 0
+        assert report["events"][0]["kind"] == "launch"
+        assert report["error"] == {"type": "LaunchError",
+                                   "message": "boom"}
+        assert "flight recorder" in recorder.describe()
+        json.dumps(report)  # JSON-safe
+
+    def test_make_recorder_levels(self):
+        assert make_recorder("k", 8, level="off") is None
+        assert make_recorder("k", 8, level=False) is None
+        on = make_recorder("k", 8, level=True)
+        assert on is not None and on.verbose is False
+        assert make_recorder("k", 8, level="verbose").verbose is True
+
+    def test_global_level_round_trips(self):
+        previous = set_recorder_level("verbose")
+        try:
+            assert recorder_level() == "verbose"
+            assert make_recorder("k", 8).verbose is True
+        finally:
+            set_recorder_level(previous)
+
+    def test_launch_error_carries_post_mortem(self):
+        machine = GPUMachine(_sr_module(), max_issues=20,
+                             flight_recorder="on")
+        before = obs_counters.snapshot()
+        with pytest.raises(SimulationError) as excinfo:
+            machine.launch("k", 32)
+        report = excinfo.value.post_mortem
+        assert report["kernel"] == "k" and report["n_threads"] == 32
+        kinds = [entry["kind"] for entry in report["events"]]
+        assert kinds[0] == "launch" and kinds[-1] == "error"
+        moved = obs_counters.delta(obs_counters.snapshot(), before)
+        assert moved["launch.errors"] == 1
+        assert moved["launch.count"] == 0
+
+    def test_post_mortem_env_dump(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_POST_MORTEM", str(tmp_path))
+        machine = GPUMachine(_sr_module(), max_issues=20,
+                             flight_recorder="on")
+        with pytest.raises(SimulationError):
+            machine.launch("k", 32)
+        dumps = list(tmp_path.glob("postmortem-*.json"))
+        assert len(dumps) == 1
+        report = json.loads(dumps[0].read_text())
+        assert report["error"]["type"] in ("LaunchError", "SimulationError")
+
+    def test_dump_post_mortem_tags_reason(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_POST_MORTEM", str(tmp_path))
+        recorder = FlightRecorder(kernel="k", n_threads=8)
+        recorder.record("epoch-rollback", {"streak": 3})
+        report = dump_post_mortem(recorder, "guard-disable")
+        assert report["reason"] == "guard-disable"
+        assert list(tmp_path.glob("*guard-disable.json"))
+        assert dump_post_mortem(None, "guard-disable") is None
+
+    def test_recording_never_perturbs_results(self):
+        module = _sr_module()
+        plain = GPUMachine(module, flight_recorder=False).launch("k", 64)
+        verbose = GPUMachine(module, flight_recorder="verbose").launch(
+            "k", 64
+        )
+        assert verbose.store_traces() == plain.store_traces()
+        assert verbose.cycles == plain.cycles
+        assert verbose.simt_efficiency == plain.simt_efficiency
+        # The verbose run retained a narrative; the plain one has none.
+        assert verbose.flight_recorder is not None
+        assert verbose.flight_recorder.seq > 0
+        assert plain.flight_recorder is None
+
+
+# ---------------------------------------------------------------------------
+# Sinks: error-path finalization + ambient install
+
+
+class TestSinkFinalization:
+    def test_jsonl_sink_streams_and_closes_once(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        GPUMachine(_sr_module(), sink=sink).launch("k", 32)
+        sink.close()
+        sink.close()  # idempotent
+        assert sink.closed and sink.emitted > 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == sink.emitted
+        assert all("kind" in json.loads(line) for line in lines)
+
+    def test_sink_finalized_on_launch_error(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        sink = JsonlSink(str(path))
+        machine = GPUMachine(_sr_module(), max_issues=20, sink=sink)
+        with pytest.raises(SimulationError):
+            machine.launch("k", 32)
+        # The machine closed the sink, so the partial trace survives.
+        assert sink.closed
+        assert sink.emitted > 0
+        assert len(path.read_text().splitlines()) == sink.emitted
+
+    def test_ambient_sink_picked_up_by_machines(self):
+        sink = ListSink()
+        previous = set_ambient_sink(sink)
+        try:
+            assert ambient_sink() is sink
+            GPUMachine(_sr_module()).launch("k", 32)
+        finally:
+            set_ambient_sink(previous)
+        assert sink.events  # the launch streamed into the ambient sink
+        # Restored: new launches no longer observe.
+        assert ambient_sink() is previous
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace edge cases
+
+
+def _issue(warp_id, ts):
+    return IssueEvent(
+        warp_id=warp_id, function="f", block="b", index=0, opcode="add",
+        lanes=frozenset({0, 1}), ts=ts, dur=1, active=2,
+    )
+
+
+class TestChromeTraceEdges:
+    def test_empty_trace_is_loadable(self):
+        data = chrome_trace(events=[])
+        assert data["traceEvents"] != [] or data["traceEvents"] == []
+        slices = [e for e in data["traceEvents"] if e.get("ph") == "X"]
+        assert slices == []
+        json.dumps(data)
+
+    def test_unclosed_span_clamped_not_dropped(self):
+        closed = Span(name="ok", start=1.0, end=2.0)
+        unclosed = Span(name="hung", start=5.0)  # end defaults before start
+        entries = [e for e in span_trace_events([closed, unclosed])
+                   if e.get("ph") == "X"]
+        by_name = {e["name"]: e for e in entries}
+        assert by_name["ok"]["dur"] == pytest.approx(1e6)
+        assert by_name["hung"]["dur"] == 0.0
+        assert by_name["hung"]["args"]["unclosed"] is True
+        assert "unclosed" not in by_name["ok"]["args"]
+
+    def test_merged_workers_get_distinct_pids(self):
+        # Two workers whose warp ids (tids) collide on 0 and 1.
+        worker_a = [_issue(0, 0), _issue(1, 2)]
+        worker_b = [_issue(0, 1), _issue(1, 3)]
+        data = merged_worker_trace([worker_a, worker_b],
+                                   labels=["worker pid 11", None])
+        slices = [e for e in data["traceEvents"] if e.get("ph") == "X"]
+        pids = {e["pid"] for e in slices}
+        assert pids == {WORKER_PID_BASE, WORKER_PID_BASE + 1}
+        # (pid, tid) pairs are unique even though tids repeat.
+        keyed = {(e["pid"], e["tid"]) for e in slices}
+        assert len(keyed) == 4
+        names = [e["args"]["name"] for e in data["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "process_name"]
+        assert any("worker pid 11" in n for n in names)
+        assert any("worker 1" in n for n in names)
+        assert data["otherData"]["workers"] == 2
+
+    def test_merged_workers_accepts_generator(self):
+        data = merged_worker_trace(
+            iter([[_issue(0, 0)], [_issue(0, 1)]])
+        )
+        assert data["otherData"]["workers"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Cross-worker aggregation
+
+
+def _tiny_run(mode):
+    result = get_workload("mcb", steps=6).run(mode=mode)
+    return result.cycles
+
+
+class TestObservedRunner:
+    def test_serial_reports_counters(self):
+        from repro.harness.parallel import run_tasks_observed, task
+
+        results, reports = run_tasks_observed(
+            [task(_tiny_run, "baseline"), task(_tiny_run, "sr")], jobs=1
+        )
+        assert len(results) == 2 and len(reports) == 2
+        for report in reports:
+            assert report["counters"]["launch.count"] == 1
+            assert report["events"] == []
+            assert isinstance(report["pid"], int)
+
+    def test_pool_merges_worker_counters_into_parent(self):
+        from repro.harness.parallel import (
+            run_tasks_observed,
+            shutdown_pool,
+            task,
+        )
+
+        before = obs_counters.snapshot()
+        try:
+            results, reports = run_tasks_observed(
+                [task(_tiny_run, m) for m in
+                 ("baseline", "sr", "baseline", "sr")],
+                jobs=2,
+            )
+        finally:
+            shutdown_pool()
+        assert len(results) == 4
+        moved = obs_counters.delta(obs_counters.snapshot(), before)
+        # Worker-side launches came home into the parent registry.
+        assert moved["launch.count"] >= 4
+        assert moved["pool.tasks"] >= 4
+
+    def test_events_capture_rides_the_report(self):
+        from repro.harness.parallel import run_tasks_observed, task
+
+        _, reports = run_tasks_observed(
+            [task(_tiny_run, "sr")], jobs=1, events=True
+        )
+        events = reports[0]["events"]
+        assert events, "events=True should capture the launch's stream"
+        assert all(hasattr(e, "warp_id") for e in events)
+        # The observing wrapper restored the ambient sink afterwards.
+        assert ambient_sink() is None or not getattr(
+            ambient_sink(), "events", None
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLIs
+
+
+class TestStatsCLI:
+    def test_single_workload_report(self, capsys):
+        from repro.tools.stats import main
+
+        assert main(["mcb", "--mode", "sr"]) == 0
+        out = capsys.readouterr().out
+        assert "Launch counters" in out
+        assert "fused_instrs" in out and "segments" in out
+        assert "Process counter delta" in out
+
+    def test_sweep_json_and_diff(self, tmp_path, capsys):
+        from repro.tools.stats import main
+
+        snap_a = tmp_path / "a.json"
+        snap_b = tmp_path / "b.json"
+        assert main(["--sweep", "--workloads", "mcb",
+                     "--json", str(snap_a)]) == 0
+        assert main(["--sweep", "--workloads", "mcb", "funccall",
+                     "--json", str(snap_b)]) == 0
+        capsys.readouterr()
+        saved = json.loads(snap_a.read_text())
+        assert saved["kind"] == "repro.stats"
+        assert saved["counters"]["launch.count"] == 2
+        assert main(["--diff", str(snap_a), str(snap_b)]) == 0
+        out = capsys.readouterr().out
+        assert "Engine counter deltas" in out
+        assert "launch" in out and "count" in out
+
+    def test_sweep_writes_merged_trace(self, tmp_path, capsys):
+        from repro.tools.stats import main
+
+        trace_path = tmp_path / "merged.json"
+        assert main(["--sweep", "--workloads", "mcb",
+                     "--trace", str(trace_path)]) == 0
+        data = json.loads(trace_path.read_text())
+        assert data["otherData"]["workers"] >= 1
+        assert any(e.get("ph") == "X" for e in data["traceEvents"])
+
+    def test_diff_accepts_bench_records(self, tmp_path, capsys):
+        from repro.tools.stats import main
+
+        record = {"benchmark": "x", "speedup": 2.0,
+                  "counters": {"launch.count": 5}}
+        path_a = tmp_path / "bench_a.json"
+        path_b = tmp_path / "bench_b.json"
+        path_a.write_text(json.dumps(record))
+        record["counters"]["launch.count"] = 9
+        path_b.write_text(json.dumps(record))
+        assert main(["--diff", str(path_a), str(path_b)]) == 0
+        assert "+4" in capsys.readouterr().out
+
+    def test_unknown_sweep_workload_errors(self):
+        from repro.tools.stats import main
+
+        with pytest.raises(SystemExit):
+            main(["--sweep", "--workloads", "nope"])
+
+
+class TestTraceCLISummary:
+    def test_summary_includes_engine_counters(self, capsys):
+        from repro.tools.trace import main
+
+        assert main(["mcb", "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "Engine counters" in out
+        assert "fused_instrs" in out
