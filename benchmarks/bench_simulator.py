@@ -14,6 +14,8 @@ import os
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.core import ReconvergenceCompiler
 from repro.core.program_cache import PROGRAM_CACHE, cache_disabled
 from repro.harness.parallel import run_tasks, task
@@ -318,5 +320,72 @@ def test_segment_corpus_sweep_speedup(benchmark):
           f"speedup={speedup:.2f}x (required {min_speedup:.1f}x)")
     assert speedup >= min_speedup, (
         f"segment sweep speedup {speedup:.2f}x below the "
+        f"{min_speedup:.1f}x floor"
+    )
+
+
+def test_soa_corpus_sweep_speedup(benchmark):
+    """PR-level acceptance for SoA vector execution: the serial corpus
+    sweep must be no slower (and is typically ~1.1x faster) with the
+    numpy column engine on than with it off, with bit-identical results.
+
+    Both sides run serial with fastpath, segment fusion, and all caches
+    warm, so the ratio isolates exactly what the SoA layer adds: masked
+    column arithmetic plus compile-time constant folding, minus the
+    gather/scatter tax the cost gate is supposed to price correctly. A
+    regression below 1.0x means the gate is mispricing chunks. The floor
+    is tunable via ``REPRO_BENCH_MIN_SOA_SPEEDUP``; the measured value is
+    written to ``BENCH_soa_sweep.json``.
+    """
+    pytest.importorskip("numpy")
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SOA_SPEEDUP", "1.0"))
+
+    from repro.simt.soa import soa_disabled
+
+    # Warm module/program/decode caches; also the reference results. The
+    # counter delta over this serial sweep ships with the record so
+    # compare.py can see how many chunks vectorized vs fell back.
+    counters_before = obs_counters.snapshot()
+    reference = _corpus_sweep()
+    sweep_counters = obs_counters.delta(
+        obs_counters.snapshot(), counters_before
+    )
+    vector_results = benchmark.pedantic(_corpus_sweep, rounds=3, iterations=1)
+    vector_time = benchmark.stats.stats.min
+
+    with soa_disabled():
+        scalar_times = []
+        scalar_results = None
+        for _ in range(3):
+            start = time.perf_counter()
+            scalar_results = _corpus_sweep()
+            scalar_times.append(time.perf_counter() - start)
+        scalar_time = min(scalar_times)
+
+    assert vector_results == reference
+    assert scalar_results == reference
+
+    speedup = scalar_time / vector_time
+    record = {
+        "benchmark": "soa_corpus_sweep",
+        "corpus": sorted(workload_names()),
+        "modes": ["baseline", "sr"],
+        "seed": _SEED,
+        "jobs": 1,
+        "fast_seconds": round(vector_time, 4),
+        "fast_seconds_mean": round(benchmark.stats.stats.mean, 4),
+        "slow_seconds": round(scalar_time, 4),
+        "speedup": round(speedup, 3),
+        "min_speedup_required": min_speedup,
+        "bit_identical": True,
+        "counters": sweep_counters,
+    }
+    (_REPO_ROOT / "BENCH_soa_sweep.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    print(f"\nsoa sweep: vector={vector_time:.2f}s scalar={scalar_time:.2f}s "
+          f"speedup={speedup:.2f}x (required {min_speedup:.1f}x)")
+    assert speedup >= min_speedup, (
+        f"soa sweep speedup {speedup:.2f}x below the "
         f"{min_speedup:.1f}x floor"
     )

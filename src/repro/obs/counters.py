@@ -64,6 +64,11 @@ COUNTERS = {
         "issue slots retired one instruction at a time",
     "segments.fused_segments":
         "fused segment executions (bursts)",
+    # --- soa: vectorized chunk execution (repro.simt.soa) -------------
+    "soa.vector_chunks":
+        "pure chunks executed as numpy SoA vector columns",
+    "soa.fallback_chunks":
+        "pure chunks run thread-major while SoA was enabled",
     # --- batch: lockstep multi-warp epochs (repro.simt.batch) ---------
     "batch.epochs":
         "lockstep epochs attempted across live warps",
@@ -101,8 +106,8 @@ COUNTERS = {
 
 #: Layer prefixes in display order (the per-layer tables follow this).
 LAYERS = (
-    "fastpath", "segments", "batch", "program_cache", "passmgr", "pool",
-    "launch",
+    "fastpath", "segments", "soa", "batch", "program_cache", "passmgr",
+    "pool", "launch",
 )
 
 

@@ -91,7 +91,7 @@ class Executor:
     """Executes instructions for thread groups of one launch."""
 
     def __init__(self, module, memory, cost_model, profiler, sink=None,
-                 metrics=None, fastpath=None, segments=None):
+                 metrics=None, fastpath=None, segments=None, soa=None):
         self.module = module
         self.memory = memory
         self.cost_model = cost_model
@@ -132,6 +132,17 @@ class Executor:
             and not self.observing
             and profiler.trace is None
             else None
+        )
+        # SoA vectorized chunks (repro.simt.soa): ``soa=None`` defers to
+        # the global REPRO_SOA default. ``soa_lanes`` is the minimum group
+        # width for vector execution, or None when SoA is off for this
+        # launch (numpy missing, disabled, or no segment path to ride on).
+        from repro.simt import soa as _soa
+
+        if soa is None:
+            soa = _soa.SOA_ENABLED
+        self.soa_lanes = (
+            _soa.MIN_SOA_LANES if soa and _soa.soa_available() else None
         )
         # Program order for scheduler tie-breaking and fetches.
         self._block_pos = {

@@ -44,6 +44,8 @@ def _fold_launch_counters(counters):
     )
     ENGINE_COUNTERS.batch_epochs += counters["batch.epochs"]
     ENGINE_COUNTERS.batch_rollbacks += counters["batch.rollbacks"]
+    ENGINE_COUNTERS.soa_vector_chunks += counters["soa.vector_chunks"]
+    ENGINE_COUNTERS.soa_fallback_chunks += counters["soa.fallback_chunks"]
 
 
 @dataclass
@@ -98,6 +100,7 @@ class GPUMachine:
         fastpath=None,
         segments=None,
         warp_batch=None,
+        soa=None,
         flight_recorder=None,
     ):
         self.module = module
@@ -111,6 +114,8 @@ class GPUMachine:
         self.segments = segments
         # None defers to the global repro.simt.batch default.
         self.warp_batch = warp_batch
+        # None defers to the global repro.simt.soa default (REPRO_SOA).
+        self.soa = soa
         # Observability, all off by default (the fast path stays
         # allocation-free): ``trace`` records cycle-stamped IssueEvents for
         # timeline rendering, ``sink`` streams every event kind to a
@@ -146,7 +151,7 @@ class GPUMachine:
         executor = Executor(
             self.module, memory, self.cost_model, profiler,
             sink=sink, metrics=metrics, fastpath=self.fastpath,
-            segments=self.segments,
+            segments=self.segments, soa=self.soa,
         )
         scheduler = make_scheduler(self.scheduler_name)
 

@@ -49,6 +49,12 @@ class Profiler:
         #: simulated program, so summary() excludes them.
         self.batch_epochs = 0
         self.batch_rollbacks = 0
+        #: SoA diagnostics (repro.simt.soa): pure chunks executed as numpy
+        #: vector columns vs thread-major while SoA was enabled (narrow
+        #: group or no bit-identical vector form). Engine-only, excluded
+        #: from summary() like the other layer counters.
+        self.soa_chunks = 0
+        self.soa_fallback_chunks = 0
         #: when tracing, every issue as a cycle-stamped IssueEvent (which
         #: unpacks as the legacy ``(warp_id, function, block, lanes)`` tuple)
         self.trace = [] if trace else None
@@ -171,6 +177,8 @@ class Profiler:
             "segments.coverage": fused / total if total else 0.0,
             "batch.epochs": self.batch_epochs,
             "batch.rollbacks": self.batch_rollbacks,
+            "soa.vector_chunks": self.soa_chunks,
+            "soa.fallback_chunks": self.soa_fallback_chunks,
         }
 
     def summary(self):

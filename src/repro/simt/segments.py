@@ -37,6 +37,7 @@ import os
 from contextlib import contextmanager
 
 from repro.ir.instructions import Imm, Opcode, Reg
+from repro.simt import soa as _soa
 from repro.simt.executor import _BINARY_EVAL, _UNARY_EVAL, _UNIFORM_OPS
 
 __all__ = [
@@ -308,10 +309,11 @@ class Segment:
     of the group sits after execution.
     """
 
-    __slots__ = ("fname", "bname", "start", "n", "steps", "end_pc",
-                 "opcode_counts", "touches_memory")
+    __slots__ = ("fname", "bname", "start", "n", "steps", "soa_steps",
+                 "n_chunks", "n_soa_chunks", "end_pc", "opcode_counts",
+                 "touches_memory")
 
-    def __init__(self, fname, bname, start, entries, slots):
+    def __init__(self, fname, bname, start, entries, slots, kinds=None):
         self.fname = fname
         self.bname = bname
         self.start = start
@@ -322,15 +324,32 @@ class Segment:
         )
 
         steps = []
+        soa_steps = []  # same shape, vector chunks substituted where compiled
+        n_chunks = 0
+        n_soa_chunks = 0
         micro = []
+        items = []  # (entry, micro-op) pairs for the SoA chunk compiler
         static = 0
         pending = 0  # pure instructions accumulated since the last flush
         index = start
+
+        def flush_chunk():
+            nonlocal n_chunks, n_soa_chunks
+            chunk = _make_chunk(micro, index)
+            steps.append((True, chunk, static))
+            vector = _soa.compile_chunk(items, slots, kinds, index)
+            soa_steps.append((True, vector if vector is not None else chunk,
+                              static))
+            n_chunks += 1
+            if vector is not None:
+                n_soa_chunks += 1
+
         for entry in entries:
             if entry.opcode in _PURE_OPS:
                 op = _pure_micro(entry, slots)
                 if op is not None:
                     micro.append(op)
+                items.append((entry, op))
                 static += _static_cycles(entry)
                 pending += 1
                 index += 1
@@ -338,15 +357,23 @@ class Segment:
                 if pending:
                     # Even an op-free chunk (all NOPs) must advance the
                     # frame index, so flush on pending count, not on ops.
-                    steps.append((True, _make_chunk(micro, index), static))
+                    flush_chunk()
                     micro = []
+                    items = []
                     static = 0
                     pending = 0
-                steps.append((False, entry.run, 0))
+                step = (False, entry.run, 0)
+                steps.append(step)
+                soa_steps.append(step)
                 index += 1
         if pending:
-            steps.append((True, _make_chunk(micro, index), static))
+            flush_chunk()
         self.steps = tuple(steps)
+        # None when no chunk compiled a vector variant: execute() then
+        # skips the SoA dispatch entirely for this segment.
+        self.soa_steps = tuple(soa_steps) if n_soa_chunks else None
+        self.n_chunks = n_chunks
+        self.n_soa_chunks = n_soa_chunks
 
         last = entries[-1]
         if last.opcode is Opcode.BRA:
@@ -361,8 +388,22 @@ class Segment:
 
     def execute(self, executor, warp, group):
         """Apply the whole segment to ``group``; returns total cycles."""
+        # SoA dispatch happens per segment, never per chunk: the vector
+        # variants were substituted into ``soa_steps`` at build time, so
+        # the execution loop below stays identical either way.
+        steps = self.steps
+        lanes = executor.soa_lanes
+        if lanes is not None:
+            if self.soa_steps is not None and len(group) >= lanes:
+                steps = self.soa_steps
+                executor.profiler.soa_chunks += self.n_soa_chunks
+                executor.profiler.soa_fallback_chunks += (
+                    self.n_chunks - self.n_soa_chunks
+                )
+            else:
+                executor.profiler.soa_fallback_chunks += self.n_chunks
         total = 0
-        for is_chunk, payload, cycles in self.steps:
+        for is_chunk, payload, cycles in steps:
             if is_chunk:
                 payload(group)
                 total += cycles
@@ -408,11 +449,14 @@ class SegmentTable:
     instructions are not worth a fused dispatch and return None.
     """
 
-    def __init__(self, fname, bname, entries, slots):
+    def __init__(self, fname, bname, entries, slots, kinds=None):
         self.fname = fname
         self.bname = bname
         self.entries = entries
         self.slots = slots
+        # Per-slot value kinds from repro.simt.soa.classify_slots; None
+        # disables SoA chunk compilation for this table's segments.
+        self.kinds = kinds
         # _run_end[i]: end index (exclusive) of the maximal fusable run
         # containing i, or -1 when entries[i] is not fusable.
         n = len(entries)
@@ -442,6 +486,7 @@ class SegmentTable:
             index,
             self.entries[index:end],
             self.slots,
+            self.kinds,
         )
         self._cache[index] = segment
         return segment
@@ -472,6 +517,7 @@ class SegmentTable:
             index,
             self.entries[index:index + length],
             self.slots,
+            self.kinds,
         )
         self._cache[key] = segment
         return segment

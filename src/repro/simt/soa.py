@@ -1,0 +1,976 @@
+"""NumPy structure-of-arrays lane state for fused-segment chunks.
+
+The segment layer (:mod:`repro.simt.segments`) already executes pure
+straight-line runs thread-major, but each instruction of the run is still a
+Python closure applied one lane at a time — a converged 32-wide group pays
+32 interpreter dispatches per instruction. This module turns those chunks
+into **warp-level structure-of-arrays vector code**: one ``float64`` numpy
+column per register slot with lanes as the vector axis, so an eight-FMA
+loop body becomes eight ufunc calls over the whole group instead of
+``8 × 32`` Python evaluations.
+
+Bit-identical results are non-negotiable (the conformance matrix and
+goldens pin them), which dictates the design:
+
+* **Typed/untyped slot split.** :func:`classify_slots` runs a decode-time
+  fixpoint over the function body and proves, per register slot, that
+  every runtime value is a Python ``float`` (``KIND_FLOAT``), every value
+  is a Python ``int`` (``KIND_INT``), or nothing is known
+  (``KIND_OBJECT`` — barrier registers, loaded cells, call results,
+  params). Only provably-float slots get result columns: Python floats
+  *are* IEEE doubles, so ``np.add``/``subtract``/``multiply``/``divide``
+  on float64 columns reproduce the scalar results bit-for-bit (CPython
+  float arithmetic overflows to ``inf`` silently, exactly like numpy).
+  Int slots stay list-resident — Python ints are unbounded and an int64
+  column would silently wrap — but may be *read* into a float64 mirror
+  where Python itself would convert the operand (mixed int/float
+  arithmetic converts the int correctly rounded, identical to the
+  column gather; huge ints raise ``OverflowError`` either way).
+  Transcendental ops (``sin``/``cos``/``exp``/``log``) are never
+  vectorized: numpy's SIMD kernels are not guaranteed last-ulp-identical
+  to ``math.*``.
+
+* **Masking.** A divergent group is already a *subset* of the warp — the
+  scheduler hands the chunk exactly the converged threads — so partial
+  activity is expressed by gathering and scattering only the group's
+  lanes: inactive lanes' frames are never touched. Value-level guards
+  (``div`` by zero, ``sqrt`` of non-positives) use ``where=`` masks over
+  a zero-filled output, matching the scalar ``... if b != 0 else 0.0``
+  semantics exactly. :func:`group_bitmask` / :func:`bitmask_to_bool` /
+  :func:`bool_to_bitmask` bridge the engine's int-bitmask member sets to
+  numpy bool masks and back, exactly for all 2**32 patterns.
+
+* **Containment.** Columns live only *inside* one chunk execution:
+  gather → vector ops (interleaved with thread-major "lane op" phases
+  for non-vectorizable instructions, with the flush/invalidate points
+  computed at compile time) → scatter + one frame-index write. No column
+  state escapes, so memory-op steps, batch checkpoints/rollbacks, and
+  error paths always see canonical list-backed frames.
+
+* **UNDEF.** Gathering a column from frames calls ``float()`` on each
+  value; the :data:`~repro.simt.warp.UNDEF` sentinel's ``__float__``
+  raises the same "use of undefined register value" ``SimulationError``
+  the scalar closures raise, so read-before-write stays a hard error.
+
+numpy stays optional: when it is missing (or ``REPRO_SOA=0`` /
+``GPUMachine(soa=False)``), chunks run thread-major exactly as before.
+The first vector chunk executed flips numpy's error state to
+``ignore`` once (Python float arithmetic is silent about ``inf`` too);
+nothing else in the engine uses numpy.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.ir.instructions import HAS_DST, Imm, Opcode, Reg
+from repro.simt.executor import _BINARY_EVAL as _SCALAR_BINARY
+from repro.simt.executor import _UNARY_EVAL as _SCALAR_UNARY
+
+try:  # numpy is an optional dependency; everything degrades without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the numpy-absent CI job
+    _np = None
+
+__all__ = [
+    "KIND_FLOAT",
+    "KIND_INT",
+    "KIND_OBJECT",
+    "MIN_SOA_LANES",
+    "bitmask_to_bool",
+    "bool_to_bitmask",
+    "classify_slots",
+    "compile_chunk",
+    "group_bitmask",
+    "set_soa",
+    "set_soa_lanes",
+    "set_soa_min_gain",
+    "soa_available",
+    "soa_disabled",
+    "soa_enabled",
+    "soa_lanes",
+]
+
+
+def soa_available():
+    """True when numpy is importable (the SoA layer can exist at all)."""
+    return _np is not None
+
+
+#: Global default for new machines/executors. Flip with ``set_soa`` or the
+#: ``REPRO_SOA`` environment variable (0/false/off disables). Defaults to
+#: on exactly when numpy is available.
+SOA_ENABLED = soa_available() and os.environ.get("REPRO_SOA", "1").lower() not in (
+    "0",
+    "false",
+    "off",
+)
+
+#: Minimum group width for vector execution. Below this the gather/scatter
+#: loops outweigh the ufunc win (measured crossover is ~16-24 lanes on the
+#: Table 2 corpus); narrow groups run the thread-major chunk. Override with
+#: ``REPRO_SOA_LANES`` or :func:`set_soa_lanes` (tests force 1 to cover the
+#: vector path on narrow kernels).
+MIN_SOA_LANES = int(os.environ.get("REPRO_SOA_LANES", "24"))
+
+#: Minimum modelled advantage — thread-major work absorbed minus the
+#: ufunc calls and python loops the vector strategy pays, in the cost
+#: units of :func:`compile_chunk` (roughly tenths of a microsecond at
+#: warp width) — for a chunk to compile a vector variant. Lower it (a
+#: large negative value admits everything) with :func:`set_soa_min_gain`
+#: to force the vector path in tests.
+MIN_VECTOR_GAIN = 40
+
+
+def soa_enabled():
+    """The current global SoA default."""
+    return SOA_ENABLED
+
+
+def set_soa(enabled):
+    """Set the global SoA default; returns the previous value.
+
+    Enabling has no effect when numpy is unavailable.
+    """
+    global SOA_ENABLED
+    previous = SOA_ENABLED
+    SOA_ENABLED = bool(enabled) and soa_available()
+    return previous
+
+
+@contextmanager
+def soa_disabled():
+    """Run a block with list-backed chunk execution (SoA off)."""
+    previous = set_soa(False)
+    try:
+        yield
+    finally:
+        set_soa(previous)
+
+
+def soa_lanes():
+    """The current minimum group width for vector execution."""
+    return MIN_SOA_LANES
+
+
+def set_soa_lanes(n):
+    """Set the minimum group width; returns the previous value.
+
+    Takes effect for executors built afterwards (the threshold is read at
+    launch setup, never per chunk).
+    """
+    global MIN_SOA_LANES
+    previous = MIN_SOA_LANES
+    MIN_SOA_LANES = int(n)
+    return previous
+
+
+def set_soa_min_gain(gain):
+    """Set the chunk-compile advantage threshold; returns the previous.
+
+    Takes effect for segments *built* afterwards — compiled chunks are
+    cached on their (shared, decode-cached) ``Segment``, so tests forcing
+    the gate should use a freshly compiled module.
+    """
+    global MIN_VECTOR_GAIN
+    previous = MIN_VECTOR_GAIN
+    MIN_VECTOR_GAIN = int(gain)
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# Bitmask <-> numpy bool mask bridge
+# ---------------------------------------------------------------------------
+def group_bitmask(group):
+    """The int lane-bitmask of a thread group (bit ``lane`` per thread).
+
+    Same encoding as the barrier member/parked sets in
+    :mod:`repro.simt.barrier_state`.
+    """
+    mask = 0
+    for thread in group:
+        mask |= 1 << thread.lane
+    return mask
+
+
+def bitmask_to_bool(mask, width):
+    """An int lane-bitmask as a numpy bool array of ``width`` lanes.
+
+    Bit ``i`` of ``mask`` becomes element ``i``. Exact for every pattern:
+    each bit is tested individually, no float detours.
+    """
+    return _np.fromiter(
+        ((mask >> lane) & 1 for lane in range(width)), _np.bool_, width
+    )
+
+
+def bool_to_bitmask(mask_array):
+    """A numpy bool array back to the int lane-bitmask (inverse of
+    :func:`bitmask_to_bool` for every width and pattern)."""
+    mask = 0
+    for lane, active in enumerate(mask_array):
+        if active:
+            mask |= 1 << lane
+    return mask
+
+
+# ---------------------------------------------------------------------------
+# Decode-time slot classification
+# ---------------------------------------------------------------------------
+#: Every runtime value of the slot is a Python float.
+KIND_FLOAT = "float"
+#: Every runtime value of the slot is a Python int.
+KIND_INT = "int"
+#: Anything else: params, loads, call results, barrier registers, or slots
+#: written with both int and float values.
+KIND_OBJECT = "object"
+
+# Opcodes whose destination is always a Python int.
+_INT_RESULTS = frozenset(
+    {
+        Opcode.TID,
+        Opcode.LANE,
+        Opcode.WARPID,
+        Opcode.BARCNT,
+        Opcode.FLOOR,
+        Opcode.NOT,
+        Opcode.REM,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+    }
+)
+
+# Opcodes whose destination is always a Python float.
+_FLOAT_RESULTS = frozenset(
+    {
+        Opcode.RAND,
+        Opcode.DIV,
+        Opcode.SQRT,
+        Opcode.SIN,
+        Opcode.COS,
+        Opcode.EXP,
+        Opcode.LOG,
+    }
+)
+
+# Numeric-promoting arithmetic: float if any operand is float, int if all
+# operands are int (Python promotes the int operand exactly).
+_PROMOTING = frozenset({Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.FMA})
+
+# Operand-picking ops: the result is one of the value operands unchanged,
+# so the kind is only known when the candidates agree.
+_PICKING = frozenset({Opcode.MIN, Opcode.MAX, Opcode.SEL})
+
+# Kind-preserving unaries (``-int`` is an int, ``abs(float)`` a float).
+_PRESERVING = frozenset({Opcode.MOV, Opcode.NEG, Opcode.ABS})
+
+
+def _imm_kind(value):
+    # type() rather than isinstance: bools are not ints here.
+    if type(value) is float:
+        return KIND_FLOAT
+    if type(value) is int:
+        return KIND_INT
+    return KIND_OBJECT
+
+
+def _operand_kind(operand, kinds, slots):
+    """The kind of one operand, or None while still unwritten (TOP)."""
+    if isinstance(operand, Imm):
+        return _imm_kind(operand.value)
+    if isinstance(operand, Reg):
+        return kinds[slots[operand.name]]
+    return KIND_OBJECT
+
+
+def _result_kind(instr, kinds, slots):
+    """The kind an instruction's destination takes, or None (unknown yet)."""
+    opcode = instr.opcode
+    if opcode in _INT_RESULTS:
+        return KIND_INT
+    if opcode in _FLOAT_RESULTS:
+        return KIND_FLOAT
+    if opcode is Opcode.CONST:
+        return _imm_kind(instr.operands[0].value)
+    if opcode in _PRESERVING:
+        return _operand_kind(instr.operands[0], kinds, slots)
+    if opcode in _PROMOTING:
+        ks = [_operand_kind(op, kinds, slots) for op in instr.operands]
+        if KIND_OBJECT in ks:
+            return KIND_OBJECT
+        if KIND_FLOAT in ks:
+            return KIND_FLOAT
+        if None in ks:
+            return None
+        return KIND_INT
+    if opcode in _PICKING:
+        # SEL picks between operands 1 and 2; MIN/MAX between 0 and 1.
+        values = instr.operands[1:] if opcode is Opcode.SEL else instr.operands[:2]
+        ks = [_operand_kind(op, kinds, slots) for op in values]
+        if KIND_OBJECT in ks:
+            return KIND_OBJECT
+        if None in ks:
+            return None
+        if all(k == ks[0] for k in ks):
+            return ks[0]
+        return KIND_OBJECT  # mixed int/float pick preserves the operand type
+    # LD, ATOMADD, CALL results, barrier moves, anything exotic.
+    return KIND_OBJECT
+
+
+def _meet(current, new):
+    if new is None:
+        return current
+    if current is None:
+        return new
+    if current == new:
+        return current
+    return KIND_OBJECT
+
+
+def classify_slots(function):
+    """Per-slot value kinds for a function, as a tuple over ``reg_slots()``.
+
+    A descending fixpoint: slots start unknown, kernel/function params and
+    every opaque write force :data:`KIND_OBJECT`, arithmetic propagates
+    int/float-ness, and disagreement between writes lowers to object.
+    Slots never written stay unknown and are reported as
+    :data:`KIND_OBJECT` (reads of them raise ``UNDEF`` either way).
+    """
+    slots = function.reg_slots()
+    kinds = [None] * len(slots)
+    for param in function.params:
+        kinds[slots[param.name]] = KIND_OBJECT
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for instr in block.instructions:
+                dst = instr.dst
+                if not isinstance(dst, Reg):
+                    continue
+                if instr.opcode not in HAS_DST:
+                    # Barrier-register writes and other non-value defs.
+                    merged = KIND_OBJECT
+                else:
+                    merged = _meet(
+                        kinds[slots[dst.name]],
+                        _result_kind(instr, kinds, slots),
+                    )
+                slot = slots[dst.name]
+                if merged != kinds[slot]:
+                    kinds[slot] = merged
+                    changed = True
+    return tuple(KIND_OBJECT if kind is None else kind for kind in kinds)
+
+
+# ---------------------------------------------------------------------------
+# Vector-op compilation
+# ---------------------------------------------------------------------------
+_errstate_set = False
+
+
+def _silence_numpy():
+    # Python float arithmetic produces inf/nan silently; numpy warns by
+    # default. Flip its error state once, lazily, the first time a vector
+    # chunk actually runs — importing the engine alone changes nothing.
+    global _errstate_set
+    if not _errstate_set:
+        _np.seterr(all="ignore")
+        _errstate_set = True
+
+
+class _Operand:
+    """One vector-op operand: a gathered column or a numeric immediate."""
+
+    __slots__ = ("slot", "value", "kind")
+
+    def __init__(self, slot, value, kind):
+        self.slot = slot  # register slot for columns, None for immediates
+        self.value = value  # immediate value, None for columns
+        self.kind = kind  # KIND_FLOAT or KIND_INT
+
+    @property
+    def is_column(self):
+        return self.slot is not None
+
+
+def _fetch(operand):
+    """A ``cols -> array-or-scalar`` accessor for a classified operand."""
+    if operand.is_column:
+        slot = operand.slot
+        return lambda cols: cols[slot]
+    value = operand.value
+    return lambda cols: value
+
+
+# Modelled execution costs, in rough tenths of a microsecond at warp
+# width (~24-32 lanes, the only widths the lane gate admits). They only
+# feed the compile-time gain gate — never results — so they can stay
+# coarse: a thread-major micro op costs the group-sized python loop, a
+# ufunc call is flat, python loops (gather/scatter/fill/lane phases) cost
+# a bit more than a micro op because of the per-element attribute walks.
+_COST_TM = 17
+_COST_UFUNC = 7
+_COST_LOOP = 25
+_COST_ALIAS = 1
+
+_SIMPLE_BINARY = {}
+_SIMPLE_UNARY = {}
+if _np is not None:
+    _SIMPLE_BINARY = {
+        Opcode.ADD: _np.add,
+        Opcode.SUB: _np.subtract,
+        Opcode.MUL: _np.multiply,
+    }
+    _SIMPLE_UNARY = {
+        Opcode.NEG: _np.negative,
+        Opcode.ABS: _np.absolute,
+    }
+
+#: Returned by :func:`_fold_scalar` when an instruction cannot be folded.
+_NO_FOLD = object()
+
+
+def _fold_scalar(instr, resolve):
+    """Statically evaluate an instruction whose operands all resolve to
+    known scalars, returning the exact value the scalar engine would
+    produce, or :data:`_NO_FOLD`.
+
+    Folding reuses the *executor's own* eval tables (and mirrors its lazy
+    SEL / ``a * b + c`` FMA branches), so a folded value is computed by
+    exactly the code the thread-major path would have run. Any exception
+    during folding vetoes the fold — the op stays thread-major and raises
+    at run time, where the scalar engine raises.
+    """
+    opcode = instr.opcode
+    if opcode is Opcode.CONST:
+        value = instr.operands[0].value
+        return value if _imm_kind(value) is not KIND_OBJECT else _NO_FOLD
+    if opcode is Opcode.SEL:
+        pred = resolve(instr.operands[0])
+        if pred is None or pred.is_column:
+            return _NO_FOLD
+        # Only the picked operand is evaluated (the executor's SEL is
+        # lazy), so an unpicked UNDEF or column must not matter here.
+        picked = resolve(instr.operands[1 if pred.value != 0 else 2])
+        if picked is None or picked.is_column:
+            return _NO_FOLD
+        return picked.value
+    operands = [resolve(op) for op in instr.operands]
+    if any(op is None or op.is_column for op in operands):
+        return _NO_FOLD
+    try:
+        if opcode is Opcode.FMA:
+            a, b, c = (op.value for op in operands)
+            value = a * b + c
+        elif opcode in _SCALAR_BINARY:
+            value = _SCALAR_BINARY[opcode](operands[0].value, operands[1].value)
+        elif opcode in _SCALAR_UNARY:
+            value = _SCALAR_UNARY[opcode](operands[0].value)
+        else:
+            return _NO_FOLD
+    except Exception:
+        return _NO_FOLD
+    return value if type(value) in (int, float) else _NO_FOLD
+
+
+def _compile_vector(instr, slots, kinds, resolve, safe_columns):
+    """Compile one instruction for vector execution, or None.
+
+    Returns ``(compute, column_reads, cost)``: a ``(cols, group) ->
+    float64 column`` closure, the slots whose columns must be gathered
+    before it runs, and its modelled cost in :data:`_COST_TM` units.
+    ``column_reads`` lists every column operand the *scalar* engine would
+    have evaluated — including ones the vector form never touches (the
+    zero-divisor DIV) — so read-before-write raises at the gather exactly
+    where the scalar path raises. ``safe_columns`` is the planner's set of
+    already-live columns; SEL consults it because ``np.where`` evaluates
+    both sides while the scalar SEL reads only each thread's picked
+    operand, so a side column is only legal when proven defined.
+
+    Closures never write through an array bound to a slot (fresh result
+    arrays, or in-place only into a temporary they just allocated), so
+    aliased destinations — ``fma %x, %x, %x`` — behave exactly like the
+    scalar evaluation order.
+    """
+    opcode = instr.opcode
+    if not isinstance(instr.dst, Reg) or kinds[slots[instr.dst.name]] is not KIND_FLOAT:
+        return None
+
+    if opcode is Opcode.RAND:
+
+        def rand(cols, group):
+            return _np.fromiter(
+                (thread.rng.uniform() for thread in group),
+                _np.float64,
+                len(group),
+            )
+
+        # A python loop either way; modelled as break-even so RAND neither
+        # justifies a chunk nor splits one (a lane phase would force a
+        # scatter/gather boundary around it).
+        return rand, (), _COST_TM
+
+    if opcode in _SIMPLE_UNARY:
+        ufunc = _SIMPLE_UNARY[opcode]
+        a = resolve(instr.operands[0])
+        if a is None or not a.is_column:
+            return None
+        slot = a.slot
+        return (lambda cols, group: ufunc(cols[slot])), (slot,), _COST_UFUNC
+
+    if opcode is Opcode.MOV:
+        a = resolve(instr.operands[0])
+        if a is None or not a.is_column:
+            return None  # scalar sources were forwarded by the planner
+        slot = a.slot
+        # Aliasing is safe: columns are rebound, never mutated.
+        return (lambda cols, group: cols[slot]), (slot,), _COST_ALIAS
+
+    if opcode in _SIMPLE_BINARY:
+        ufunc = _SIMPLE_BINARY[opcode]
+        a = resolve(instr.operands[0])
+        b = resolve(instr.operands[1])
+        if a is None or b is None or not (a.is_column or b.is_column):
+            return None
+        get_a, get_b = _fetch(a), _fetch(b)
+        reads = tuple(op.slot for op in (a, b) if op.is_column)
+        return (
+            (lambda cols, group: ufunc(get_a(cols), get_b(cols))),
+            reads,
+            _COST_UFUNC,
+        )
+
+    if opcode is Opcode.DIV:
+        a = resolve(instr.operands[0])
+        b = resolve(instr.operands[1])
+        if a is None or b is None or not (a.is_column or b.is_column):
+            return None
+        if a.kind is KIND_INT and b.kind is KIND_INT:
+            # Python int/int division is correctly rounded from the exact
+            # rational; dividing rounded float64 mirrors double-rounds.
+            return None
+        reads = tuple(op.slot for op in (a, b) if op.is_column)
+        get_a = _fetch(a)
+        if not b.is_column:
+            if b.value == 0:
+                # Still gathers the dividend: the scalar engine evaluates
+                # it (and raises on UNDEF) before applying the guard.
+                return (
+                    (lambda cols, group: _np.zeros(len(group))),
+                    reads,
+                    _COST_UFUNC,
+                )
+            bv = b.value
+            return (
+                (lambda cols, group: _np.divide(get_a(cols), bv)),
+                reads,
+                _COST_UFUNC,
+            )
+        get_b = _fetch(b)
+
+        def div(cols, group):
+            divisor = get_b(cols)
+            out = _np.zeros(len(group))
+            _np.divide(get_a(cols), divisor, out=out, where=(divisor != 0))
+            return out
+
+        return div, reads, 3 * _COST_UFUNC
+
+    if opcode is Opcode.SQRT:
+        a = resolve(instr.operands[0])
+        if a is None or not a.is_column:
+            return None
+        slot = a.slot
+
+        def sqrt(cols, group):
+            arg = cols[slot]
+            out = _np.zeros(len(group))
+            _np.sqrt(arg, out=out, where=(arg > 0))
+            return out
+
+        return sqrt, (slot,), 3 * _COST_UFUNC
+
+    if opcode in (Opcode.MIN, Opcode.MAX):
+        a = resolve(instr.operands[0])
+        b = resolve(instr.operands[1])
+        if a is None or b is None or not (a.is_column or b.is_column):
+            return None
+        if a.kind is not KIND_FLOAT or b.kind is not KIND_FLOAT:
+            # min/max return an *operand*; an int winner must stay an int.
+            return None
+        get_a, get_b = _fetch(a), _fetch(b)
+        reads = tuple(op.slot for op in (a, b) if op.is_column)
+        if opcode is Opcode.MIN:
+            # Python min(a, b) is ``b if b < a else a`` — NaN-propagation
+            # and signed-zero behavior included.
+            def vmin(cols, group):
+                av, bv = get_a(cols), get_b(cols)
+                return _np.where(bv < av, bv, av)
+
+            return vmin, reads, 2 * _COST_UFUNC
+
+        def vmax(cols, group):
+            av, bv = get_a(cols), get_b(cols)
+            return _np.where(bv > av, bv, av)
+
+        return vmax, reads, 2 * _COST_UFUNC
+
+    if opcode is Opcode.SEL:
+        pred = resolve(instr.operands[0])
+        if pred is None:
+            return None
+        if not pred.is_column:
+            # Pred known at compile time: the executor's SEL evaluates
+            # only the picked operand, so the other side never matters.
+            picked = resolve(instr.operands[1 if pred.value != 0 else 2])
+            if picked is None or not picked.is_column:
+                return None  # scalar picks were folded by the planner
+            slot = picked.slot
+            return (lambda cols, group: cols[slot]), (slot,), _COST_ALIAS
+        # Column predicate. np.where evaluates BOTH sides while the scalar
+        # SEL reads only each thread's picked operand: an unpicked UNDEF
+        # must not raise, so side columns are only legal when already live
+        # (gathered or computed earlier in this chunk, hence proven
+        # defined); scalars are defined by construction. An int predicate
+        # column must be live too — a fresh gather could overflow where
+        # the scalar truthiness test never converts.
+        t = resolve(instr.operands[1])
+        f = resolve(instr.operands[2])
+        if t is None or f is None:
+            return None
+        if t.kind is not KIND_FLOAT or f.kind is not KIND_FLOAT:
+            return None
+        for side in (t, f):
+            if side.is_column and side.slot not in safe_columns:
+                return None
+        if pred.kind is KIND_INT and pred.slot not in safe_columns:
+            return None
+        get_p, get_t, get_f = _fetch(pred), _fetch(t), _fetch(f)
+        reads = (pred.slot,)
+        return (
+            (
+                lambda cols, group: _np.where(
+                    get_p(cols) != 0, get_t(cols), get_f(cols)
+                )
+            ),
+            reads,
+            2 * _COST_UFUNC,
+        )
+
+    if opcode is Opcode.FMA:
+        a = resolve(instr.operands[0])
+        b = resolve(instr.operands[1])
+        c = resolve(instr.operands[2])
+        if a is None or b is None or c is None:
+            return None
+        if not (a.is_column or b.is_column or c.is_column):
+            return None  # all-scalar forms were folded by the planner
+        if a.kind is KIND_INT and b.kind is KIND_INT:
+            # int*int is exact in Python; float64 mirrors would round the
+            # factors before multiplying (double rounding past 2**53).
+            return None
+        reads = tuple(op.slot for op in (a, b, c) if op.is_column)
+        get_c = _fetch(c)
+        if a.is_column or b.is_column:
+            get_a, get_b = _fetch(a), _fetch(b)
+
+            def fma(cols, group):
+                product = _np.multiply(get_a(cols), get_b(cols))
+                # In-place into the product it just allocated — never an
+                # array bound to a slot.
+                return _np.add(product, get_c(cols), out=product)
+
+            return fma, reads, 2 * _COST_UFUNC
+        # Both factors immediate (at least one float): the Python product
+        # is exact and the add promotes it identically. Computed once here
+        # when it cannot raise; otherwise inside the closure so an
+        # overflowing conversion raises at run time, where the scalar
+        # path raises.
+        av, bv = a.value, b.value
+        try:
+            product_value = av * bv
+        except Exception:
+            return (
+                (lambda cols, group: _np.add(get_c(cols), av * bv)),
+                reads,
+                _COST_UFUNC,
+            )
+        return (
+            (lambda cols, group: _np.add(get_c(cols), product_value)),
+            reads,
+            _COST_UFUNC,
+        )
+
+    return None
+
+
+def _entry_reads_writes(instr, slots):
+    reads = [
+        slots[operand.name]
+        for operand in instr.operands
+        if isinstance(operand, Reg)
+    ]
+    write = slots[instr.dst.name] if isinstance(instr.dst, Reg) else None
+    return reads, write
+
+
+def _gather_step(slot):
+    def gather(cols, group):
+        # float() on UNDEF raises the read-before-write SimulationError,
+        # mirroring the scalar closures; huge ints raise OverflowError
+        # exactly where mixed Python arithmetic would.
+        cols[slot] = _np.array(
+            [thread.frames[-1].regs[slot] for thread in group],
+            dtype=_np.float64,
+        )
+
+    return gather
+
+
+def _scatter_step(slot):
+    def scatter(cols, group):
+        values = cols[slot].tolist()  # exact: float64 -> Python float
+        for thread, value in zip(group, values):
+            thread.frames[-1].regs[slot] = value
+
+    return scatter
+
+
+def _fill_step(pairs):
+    pairs = tuple(pairs)
+
+    def fill(cols, group):
+        for thread in group:
+            regs = thread.frames[-1].regs
+            for slot, value in pairs:
+                regs[slot] = value
+
+    return fill
+
+
+def _vector_step(compute, dst):
+    def step(cols, group):
+        cols[dst] = compute(cols, group)
+
+    return step
+
+
+def _lane_step(micro_ops):
+    ops = tuple(micro_ops)
+    if len(ops) == 1:
+        op = ops[0]
+
+        def lane(cols, group):
+            for thread in group:
+                op(thread, thread.frames[-1].regs)
+
+        return lane
+
+    def lane(cols, group):
+        for thread in group:
+            regs = thread.frames[-1].regs
+            for op in ops:
+                op(thread, regs)
+
+    return lane
+
+
+def _finish_step(dirty_slots, const_pairs, end_index):
+    slots = tuple(dirty_slots)
+    pairs = tuple(const_pairs)
+    if not slots and not pairs:
+
+        def finish(cols, group):
+            for thread in group:
+                thread.frames[-1].index = end_index
+
+        return finish
+
+    def finish(cols, group):
+        columns = [cols[slot].tolist() for slot in slots]
+        for position, thread in enumerate(group):
+            frame = thread.frames[-1]
+            regs = frame.regs
+            for slot, values in zip(slots, columns):
+                regs[slot] = values[position]
+            for slot, value in pairs:
+                regs[slot] = value
+            frame.index = end_index
+
+    return finish
+
+
+def compile_chunk(items, slots, kinds, end_index):
+    """Compile a pure run into a ``group -> None`` vector chunk, or None.
+
+    ``items`` is the run's ``(decoded entry, micro-op or None)`` pairs in
+    program order (micro-op None for the register-effect-free NOP /
+    PREDICT / DELAY, which only contribute to the folded end-index write).
+    The compiled chunk is the drop-in SoA replacement for
+    ``segments._make_chunk``: identical register/RNG/frame effects,
+    different execution strategy.
+
+    Compilation is a single static pass over the run:
+
+    * **Constant forwarding/folding.** An instruction whose operands are
+      all known scalars (immediates, or registers holding a statically
+      known value) is evaluated *at compile time* with the executor's own
+      scalar code and its destination becomes a known scalar — no column,
+      no ``np.full``, no per-lane work. Known scalars flow into later
+      vector ops as ufunc broadcast operands and are written back in the
+      final per-thread loop (or just before a lane phase that reads
+      them); a reused slot pays only its *last* constant.
+    * **Vector ops** execute as masked/guarded ufunc calls over gathered
+      float64 columns; gathers are emitted before first use, dirty
+      columns are flushed back to the register lists before a lane phase
+      reads them and invalidated when a lane phase overwrites them.
+    * **Lane ops** (no bit-identical vector form) run thread-major in
+      buffered phases between vector steps.
+    * A final step scatters surviving dirty columns, writes surviving
+      known constants, and sets the frame index once per thread.
+
+    The compile-time cost model (:data:`_COST_TM` and friends) weighs the
+    thread-major work absorbed against the ufunc calls and python loops
+    the vector strategy pays; chunks whose modelled advantage falls below
+    :data:`MIN_VECTOR_GAIN` return None and keep the thread-major chunk.
+    """
+    if _np is None or kinds is None:
+        return None
+
+    steps = []
+    known = {}  # slot -> exact statically-known value
+    virtual = set()  # known slots whose value is not yet in the regs lists
+    loaded = set()  # slots with a live column
+    dirty = set()  # slots whose column is newer than the regs lists
+    lane_buffer = []
+    lane_scatters = []  # dirty columns a buffered lane op reads
+    lane_fills = []  # (slot, value) virtual constants a buffered lane op reads
+    lane_writes = set()
+    covered = 0  # micro ops the vector strategy absorbs
+    cost = 0  # modelled vector-strategy cost, in _COST_* units
+
+    def resolve(operand):
+        """Classify an operand: known scalar, column, or None (object)."""
+        if isinstance(operand, Imm):
+            kind = _imm_kind(operand.value)
+            if kind is KIND_OBJECT:
+                return None
+            return _Operand(None, operand.value, kind)
+        if isinstance(operand, Reg):
+            slot = slots[operand.name]
+            if slot in known:
+                value = known[slot]
+                return _Operand(
+                    None, value, KIND_FLOAT if type(value) is float else KIND_INT
+                )
+            kind = kinds[slot]
+            if kind in (KIND_FLOAT, KIND_INT):
+                return _Operand(slot, None, kind)
+        return None
+
+    def flush_lanes():
+        nonlocal cost
+        if not lane_buffer:
+            return
+        for slot in lane_scatters:
+            steps.append(_scatter_step(slot))
+            cost += _COST_LOOP
+        if lane_fills:
+            steps.append(_fill_step(lane_fills))
+            cost += _COST_LOOP
+        steps.append(_lane_step(lane_buffer))
+        cost += _COST_LOOP
+        loaded.difference_update(lane_writes)
+        dirty.difference_update(lane_writes)
+        lane_buffer.clear()
+        lane_scatters.clear()
+        lane_fills.clear()
+        lane_writes.clear()
+
+    for entry, micro in items:
+        if micro is None:
+            continue  # no register effect; index write handled at the end
+        instr = entry.instr
+        dst_slot = slots[instr.dst.name] if isinstance(instr.dst, Reg) else None
+
+        if dst_slot is not None:
+            value = _fold_scalar(instr, resolve)
+            if value is not _NO_FOLD:
+                if dst_slot in lane_writes:
+                    # A buffered lane op writes this slot; the constant is
+                    # ordered after it, so the phase must run first.
+                    flush_lanes()
+                known[dst_slot] = value
+                virtual.add(dst_slot)
+                loaded.discard(dst_slot)
+                dirty.discard(dst_slot)
+                covered += 1
+                continue
+
+        safe = loaded.difference(lane_writes) if lane_writes else loaded
+        compiled = (
+            _compile_vector(instr, slots, kinds, resolve, safe)
+            if dst_slot is not None
+            else None
+        )
+        if compiled is not None:
+            compute, reads, op_cost = compiled
+            flush_lanes()
+            for slot in reads:
+                if slot not in loaded:
+                    steps.append(_gather_step(slot))
+                    loaded.add(slot)
+                    cost += _COST_LOOP
+            steps.append(_vector_step(compute, dst_slot))
+            known.pop(dst_slot, None)
+            virtual.discard(dst_slot)
+            loaded.add(dst_slot)
+            dirty.add(dst_slot)
+            cost += op_cost
+            covered += 1
+            continue
+
+        # Thread-major lane op.
+        reads, write = _entry_reads_writes(instr, slots)
+        for slot in reads:
+            if slot in virtual:
+                lane_fills.append((slot, known[slot]))
+                virtual.discard(slot)
+            elif slot in dirty:
+                lane_scatters.append(slot)
+                dirty.discard(slot)
+        lane_buffer.append(micro)
+        if write is not None:
+            lane_writes.add(write)
+            known.pop(write, None)
+            virtual.discard(write)
+    flush_lanes()
+
+    if not covered:
+        return None
+    const_pairs = sorted((slot, known[slot]) for slot in virtual)
+    cost += _COST_LOOP + len(dirty) + len(const_pairs)
+    if covered * _COST_TM - cost < MIN_VECTOR_GAIN:
+        return None
+    steps.append(_finish_step(sorted(dirty), const_pairs, end_index))
+    steps = tuple(steps)
+
+    def chunk(group):
+        _silence_numpy()
+        cols = {}
+        for step in steps:
+            step(cols, group)
+
+    return chunk

@@ -6,9 +6,10 @@ silently reintroduce it.
 
 import pytest
 
+from repro.errors import DeadlockError
 from repro.frontend import compile_kernel_source
 from repro.ir import parse_module, format_module
-from repro.simt import GPUMachine, GlobalMemory
+from repro.simt import SCHEDULERS, GPUMachine, GlobalMemory
 from repro.workloads import get_workload
 
 
@@ -134,3 +135,89 @@ kernel k() {
         join = pdom.nearest_common_post_dominator(succs)
         loop = nest.innermost_containing(branch)
         assert _side_region(view, branch, join, loop, join=join) == set()
+
+
+#: Minimized form of the serial-engine deadlock the multiwarp hypothesis
+#: fuzzer surfaced in the telemetry PR (the conformance fuzz asserts
+#: *parity* on whatever the shrinker finds; this pins the shape itself so
+#: the repro survives shrink-database loss). An atomadd ticket decides
+#: which of two soft barriers each lane parks on — barrier membership is
+#: data-dependent on the global interleaving, the "ticket-dependent"
+#: kernels of the generator. Every lane joins both barriers, the ticket
+#: splits each warp's lanes across the two waits, and neither barrier can
+#: release: parked < members on both, and each soft threshold (32) exceeds
+#: the arrivals the other barrier's captives will ever provide — the
+#: Section 4.3 conflicting-barrier deadlock.
+TICKET_DEADLOCK_IR = """
+func @k() kernel {
+entry:
+  %t = tid
+  bssy $spec
+  bssy $pdom
+  %one = const 1
+  %cell = const 900
+  %ticket = atomadd %cell, %one
+  %half = const 48
+  %p = cmplt %ticket, %half
+  cbr %p, ^low, ^high
+low:
+  bsync.soft $spec, 32
+  bra ^join
+high:
+  bsync.soft $pdom, 32
+  bra ^join
+join:
+  st %t, %ticket
+  exit
+}
+"""
+
+
+class TestTicketDependentDeadlock:
+    """The serial engine must *detect* the cross-barrier stall as a
+    DeadlockError (not spin or mis-release), and every optimized engine
+    must reproduce the identical deadlock."""
+
+    N_THREADS = 96  # three warps contending for tickets
+
+    def _launch(self, **kwargs):
+        module = parse_module(TICKET_DEADLOCK_IR)
+        return GPUMachine(module, **kwargs).launch("k", self.N_THREADS)
+
+    def test_serial_engine_deadlocks_with_split_membership(self):
+        with pytest.raises(DeadlockError) as exc_info:
+            self._launch(warp_batch=False)
+        exc = exc_info.value
+        # The stalled warp reports every non-exited lane with the barrier
+        # it is parked on; the ticket split strands both barriers with
+        # parked < members (16 + 16 lanes, threshold 32 unreachable).
+        assert len(exc.waiting) == 32
+        barriers = {name for _, name in exc.waiting}
+        assert barriers == {"spec", "pdom"}
+        by_barrier = {
+            name: sum(1 for _, b in exc.waiting if b == name)
+            for name in barriers
+        }
+        assert by_barrier == {"spec": 16, "pdom": 16}
+        assert "conflicting barriers" in str(exc)
+
+    @pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+    def test_every_engine_deadlocks_identically(self, scheduler):
+        with pytest.raises(DeadlockError) as serial:
+            self._launch(scheduler=scheduler, warp_batch=False)
+        with pytest.raises(DeadlockError) as batched:
+            self._launch(scheduler=scheduler, warp_batch=True)
+        assert batched.value.warp_id == serial.value.warp_id
+        assert sorted(batched.value.waiting) == sorted(serial.value.waiting)
+
+    def test_deadlock_is_deterministic_across_repeats(self):
+        """Ticket assignment is part of the deterministic schedule, so
+        the stalled warp and lane split never vary run to run."""
+        outcomes = set()
+        for _ in range(3):
+            with pytest.raises(DeadlockError) as exc_info:
+                self._launch(warp_batch=False)
+            outcomes.add(
+                (exc_info.value.warp_id, tuple(sorted(exc_info.value.waiting)))
+            )
+        assert len(outcomes) == 1

@@ -1,0 +1,391 @@
+"""Property and unit tests for the SoA vector layer (:mod:`repro.simt.soa`).
+
+The conformance matrix (``tests/test_conformance.py``) pins whole-launch
+bit-identity; this file pins the *mechanisms* that identity rests on:
+
+* the int-bitmask <-> numpy bool mask bridge is exact for every pattern,
+* masked partial-group execution never leaks into inactive lanes,
+* UNDEF (read-before-write) raises identically under vector execution,
+* the decode-time slot classifier proves exactly what it claims,
+* value-level guard semantics (div by zero, sqrt of non-positives,
+  min/max with NaN and signed zeros, inf overflow) match the scalar
+  engine on the edge cases where numpy's defaults would diverge,
+* the knobs (``soa=``, lane gate, global default) actually gate.
+
+Everything vector-specific is skipped when numpy is unavailable — the
+numpy-absent CI job runs this file too and must stay green.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.frontend import compile_kernel_source
+from repro.ir import parse_module
+from repro.simt import (
+    GPUMachine,
+    classify_slots,
+    set_soa,
+    soa_available,
+    soa_disabled,
+    soa_enabled,
+)
+from repro.simt import soa
+from tests.test_conformance import _fingerprint, _forced_soa_gate
+
+requires_numpy = pytest.mark.skipif(
+    not soa_available(), reason="numpy not installed"
+)
+
+#: Bit patterns at the 2**32 boundary where a float detour (or an off-by-
+#: one in the bit loop) would corrupt a lane mask.
+BOUNDARY_MASKS = (
+    0,
+    1,
+    2 ** 31,
+    2 ** 32 - 1,
+    2 ** 31 - 1,
+    2 ** 31 + 1,
+    0x55555555,
+    0xAAAAAAAA,
+    0xFFFF0000,
+    0x0000FFFF,
+    0x80000001,
+)
+
+
+class _FakeThread:
+    def __init__(self, lane):
+        self.lane = lane
+
+
+@requires_numpy
+class TestBitmaskBridge:
+    """bitmask <-> numpy bool mask, exact for every 32-bit pattern."""
+
+    @pytest.mark.parametrize("mask", BOUNDARY_MASKS)
+    def test_boundary_patterns_round_trip(self, mask):
+        arr = soa.bitmask_to_bool(mask, 32)
+        assert arr.dtype == bool and len(arr) == 32
+        for lane in range(32):
+            assert bool(arr[lane]) == bool((mask >> lane) & 1)
+        assert soa.bool_to_bitmask(arr) == mask
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 2 ** 32 - 1))
+    def test_random_masks_round_trip(self, mask):
+        assert soa.bool_to_bitmask(soa.bitmask_to_bool(mask, 32)) == mask
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_narrow_widths_round_trip(self, data):
+        width = data.draw(st.integers(1, 32))
+        mask = data.draw(st.integers(0, 2 ** width - 1))
+        arr = soa.bitmask_to_bool(mask, width)
+        assert len(arr) == width
+        assert soa.bool_to_bitmask(arr) == mask
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.sets(st.integers(0, 31)))
+    def test_group_bitmask_matches_lane_set(self, lanes):
+        group = [_FakeThread(lane) for lane in sorted(lanes)]
+        mask = soa.group_bitmask(group)
+        assert mask == sum(1 << lane for lane in lanes)
+        arr = soa.bitmask_to_bool(mask, 32)
+        assert {lane for lane in range(32) if arr[lane]} == lanes
+
+
+class TestSlotClassification:
+    """The decode-time fixpoint must prove float/int-ness, never guess."""
+
+    IR = """
+func @f(%p) {
+entry:
+  %t = tid
+  %fa = const 1.5
+  %fb = mul %fa, %fa
+  %fc = add %fb, 1.0
+  %ia = const 2
+  %ib = add %ia, %t
+  %mix = add %fa, %ia
+  %obj = mov %p
+  %pick = sel %t, %fa, %ia
+  %undef_read = add %never_written, 1.0
+  exit
+}
+"""
+
+    def _kinds(self):
+        module = parse_module(self.IR)
+        function = module.function("f")
+        slots = function.reg_slots()
+        kinds = classify_slots(function)
+        return {name: kinds[slot] for name, slot in slots.items()}
+
+    def test_float_chains_classify_float(self):
+        kinds = self._kinds()
+        assert kinds["fa"] == soa.KIND_FLOAT
+        assert kinds["fb"] == soa.KIND_FLOAT
+        assert kinds["fc"] == soa.KIND_FLOAT
+
+    def test_int_results_classify_int(self):
+        kinds = self._kinds()
+        assert kinds["t"] == soa.KIND_INT
+        assert kinds["ia"] == soa.KIND_INT
+        assert kinds["ib"] == soa.KIND_INT
+
+    def test_promotion_and_params_and_picks(self):
+        kinds = self._kinds()
+        # int + float promotes to float, exactly like Python.
+        assert kinds["mix"] == soa.KIND_FLOAT
+        # Params are opaque, and anything copied from them.
+        assert kinds["p"] == soa.KIND_OBJECT
+        assert kinds["obj"] == soa.KIND_OBJECT
+        # A pick between a float and an int preserves the operand: object.
+        assert kinds["pick"] == soa.KIND_OBJECT
+        # Never-written slots read as UNDEF; classification must not
+        # pretend to know them.
+        assert kinds["never_written"] == soa.KIND_OBJECT
+
+    def test_disagreeing_writes_lower_to_object(self):
+        module = parse_module(
+            """
+func @g() {
+entry:
+  %x = const 1.5
+  %x = const 2
+  exit
+}
+"""
+        )
+        function = module.function("g")
+        kinds = classify_slots(function)
+        assert kinds[function.reg_slots()["x"]] == soa.KIND_OBJECT
+
+
+MASKED_KERNEL = """
+kernel k() {
+    let t = tid();
+    let x = 1.0 * t;
+    if (t < 11) {
+        x = fma(x, 1.25, 3.0);
+        x = fma(x, 0.5, -1.0);
+        x = x * x + 0.125;
+    }
+    store(t, x);
+}
+"""
+
+
+@requires_numpy
+class TestMaskedPartialGroups:
+    """A divergent chunk executes on a *subset* of the warp; scatters and
+    finish writes must touch exactly the member lanes."""
+
+    def test_masked_partial_group_stores_do_not_leak(self):
+        with _forced_soa_gate():
+            module = compile_kernel_source(MASKED_KERNEL)
+            launch = GPUMachine(module, soa=True).launch("k", 32)
+            assert launch.profiler.soa_chunks > 0
+        expected = {}
+        for t in range(32):
+            x = 1.0 * t
+            if t < 11:
+                x = x * 1.25 + 3.0
+                x = x * 0.5 + -1.0
+                x = x * x + 0.125
+            expected[t] = [(float(t), x)]
+        assert launch.store_traces() == expected
+
+    def test_partial_group_matches_thread_major(self):
+        with _forced_soa_gate():
+            module = compile_kernel_source(MASKED_KERNEL)
+            vector = GPUMachine(module, soa=True).launch("k", 32)
+            thread_major = GPUMachine(module, soa=False).launch("k", 32)
+        assert _fingerprint(vector) == _fingerprint(thread_major)
+
+
+#: On the untaken path %x stays UNDEF, and the reconverged add reads it.
+UNDEF_IR = """
+func @k() kernel {
+entry:
+  %t = tid
+  %lim = const 16
+  %p = cmplt %t, %lim
+  cbr %p, ^then, ^join
+then:
+  %x = const 1.5
+  bra ^join
+join:
+  %bias = const 2.0
+  %y = add %x, %bias
+  st %t, %y
+  exit
+}
+"""
+
+
+@requires_numpy
+class TestUndefUnderSoA:
+    """Read-before-write must stay a hard error with the identical
+    exception, raised by the column gather's float() conversion."""
+
+    def test_undef_raises_identically(self):
+        module = parse_module(UNDEF_IR)
+        with _forced_soa_gate():
+            with pytest.raises(SimulationError) as thread_major:
+                GPUMachine(module, soa=False).launch("k", 32)
+            with pytest.raises(SimulationError) as vector:
+                GPUMachine(module, soa=True).launch("k", 32)
+        assert str(vector.value) == str(thread_major.value)
+
+    def test_defined_lanes_only_is_clean(self):
+        """The same kernel at 16 threads (every lane takes the branch)
+        must complete — proof the UNDEF error above comes from the
+        untaken path, not from the vector machinery itself."""
+        module = parse_module(UNDEF_IR)
+        with _forced_soa_gate():
+            launch = GPUMachine(module, soa=True).launch("k", 16)
+        assert launch.store_traces() == {
+            t: [(t, 3.5)] for t in range(16)
+        }
+
+
+EDGE_KERNEL = """
+kernel k() {
+    let t = tid();
+    let a = 1.0 * t;
+    let denom = a - 8.0;
+    let q = 1.0 / denom;
+    let r = a / 0.0;
+    let s = sqrt(a - 4.0);
+    let neg = 0.0 - 0.0;
+    let m = min(neg, 0.0);
+    let big = 1.0e308 + 1.0e308;
+    let n = big - big;
+    let w = max(n, a);
+    store(t, q + r + s + m);
+    store(t + 100, w);
+}
+"""
+
+
+@requires_numpy
+class TestValueGuardEdges:
+    """div-by-zero, sqrt guards, signed zero, inf overflow, and NaN
+    propagation — where numpy's defaults (warnings, nan) differ from the
+    scalar engine's guards and Python's silent inf arithmetic."""
+
+    def test_edge_values_match_thread_major(self):
+        with _forced_soa_gate():
+            module = compile_kernel_source(EDGE_KERNEL)
+            vector = GPUMachine(module, soa=True).launch("k", 32)
+            thread_major = GPUMachine(module, soa=False).launch("k", 32)
+            assert vector.profiler.soa_chunks > 0
+        # NaN != NaN, so compare the serialized traces (repr-exact,
+        # including -0.0 vs 0.0 and inf).
+        def dump(launch):
+            return json.dumps(
+                {
+                    str(tid): [repr(v) for _, v in trace]
+                    for tid, trace in sorted(launch.store_traces().items())
+                }
+            )
+
+        assert dump(vector) == dump(thread_major)
+
+    def test_guard_semantics_are_the_scalar_engine_s(self):
+        with _forced_soa_gate():
+            module = compile_kernel_source(EDGE_KERNEL)
+            launch = GPUMachine(module, soa=True).launch("k", 32)
+        traces = launch.store_traces()
+        # The low stores hold q + r + s + m.  r (a / 0.0) is guarded to
+        # 0.0 for every lane and m is 0.0, so:
+        # t=4: q = 1/(4-8) = -0.25, sqrt(4-4=0) is guarded (only a > 0
+        # roots) -> s = 0.0.
+        assert traces[4][0][1] == pytest.approx(-0.25)
+        # t=8: denom == 0 -> q guarded to 0.0, s = sqrt(8-4) = 2.0.
+        assert traces[8][0][1] == pytest.approx(2.0)
+        # max(NaN, a) is Python max: ``a if a > NaN else NaN`` -> NaN
+        # (every comparison with NaN is False, so the first operand wins).
+        assert all(math.isnan(trace[0][1]) for tid, trace in traces.items()
+                   if tid >= 100)
+
+
+@requires_numpy
+class TestSoAKnobs:
+    """The gates must actually gate (and restore)."""
+
+    KERNEL = """
+kernel k() {
+    let t = tid();
+    let x = 1.0 * t;
+    x = fma(x, 1.0001, 0.5);
+    x = fma(x, 1.0001, 0.5);
+    x = fma(x, 1.0001, 0.5);
+    store(t, x);
+}
+"""
+
+    def test_soa_false_machine_is_inert(self):
+        with _forced_soa_gate():
+            module = compile_kernel_source(self.KERNEL)
+            launch = GPUMachine(module, soa=False).launch("k", 32)
+        assert launch.profiler.soa_chunks == 0
+        assert launch.profiler.soa_fallback_chunks == 0
+
+    def test_lane_gate_falls_back_on_narrow_groups(self):
+        prev_gain = soa.set_soa_min_gain(-(10 ** 9))
+        prev_lanes = soa.set_soa_lanes(64)  # wider than any warp
+        try:
+            module = compile_kernel_source(self.KERNEL)
+            launch = GPUMachine(module, soa=True).launch("k", 32)
+        finally:
+            soa.set_soa_lanes(prev_lanes)
+            soa.set_soa_min_gain(prev_gain)
+        assert launch.profiler.soa_chunks == 0
+        assert launch.profiler.soa_fallback_chunks > 0
+        reference = GPUMachine(module, soa=False).launch("k", 32)
+        assert _fingerprint(launch) == _fingerprint(reference)
+
+    def test_set_soa_returns_previous_and_restores(self):
+        previous = soa_enabled()
+        try:
+            assert set_soa(False) == previous
+            assert soa_enabled() is False
+            with soa_disabled():
+                assert soa_enabled() is False
+            assert soa_enabled() is False
+            set_soa(True)
+            assert soa_enabled() is True
+            with soa_disabled():
+                assert soa_enabled() is False
+            assert soa_enabled() is True
+        finally:
+            set_soa(previous)
+
+
+class TestWithoutNumpyContract:
+    """Knob semantics that must hold on *every* install, including the
+    numpy-absent CI job (where these are the only tests in this file
+    that still assert something vector-related)."""
+
+    def test_enable_requires_numpy(self):
+        previous = soa_enabled()
+        try:
+            set_soa(True)
+            assert soa_enabled() == soa_available()
+        finally:
+            set_soa(previous)
+
+    def test_machines_run_without_numpy_regardless_of_knob(self):
+        module = compile_kernel_source(
+            "kernel k() { let t = tid(); store(t, 1.0 * t); }"
+        )
+        launch = GPUMachine(module, soa=True).launch("k", 32)
+        assert launch.store_traces() == {t: [(t, 1.0 * t)] for t in range(32)}
+        if not soa_available():
+            assert launch.profiler.soa_chunks == 0
