@@ -63,14 +63,14 @@ def test_optimizer_on_workloads(once):
     results (results checked in tests; here we report the shrink)."""
 
     def run():
+        from repro.core.passes import run_opt_fixpoint
         from repro.ir import count_static_instructions
-        from repro.opt import optimize_module
 
         rows = []
         for name in ("rsbench", "mcb", "pathtracer"):
             module = get_workload(name).module().clone()
             before = sum(count_static_instructions(fn.blocks) for fn in module)
-            optimize_module(module)
+            run_opt_fixpoint(module)
             after = sum(count_static_instructions(fn.blocks) for fn in module)
             rows.append((name, before, after, f"{(1 - after / before):.0%}"))
         return rows

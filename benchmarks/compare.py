@@ -77,6 +77,45 @@ def _speedup(record):
     return float(value) if value is not None else None
 
 
+def missing_counters(records, only=None):
+    """Names of gated records whose ``counters`` block is absent or not a
+    mapping. Every benchmark has written one since the telemetry PR, so a
+    missing block means a truncated or hand-edited BENCH file — fail with
+    a message naming the file instead of a KeyError deep in a delta."""
+    bad = []
+    for name in sorted(records):
+        if only is not None and name not in only:
+            continue
+        if not isinstance(records[name].get("counters"), dict):
+            bad.append(name)
+    return bad
+
+
+def occupancy_delta_rows(baseline, fresh, only=None):
+    """Per-workload simulated-SM occupancy deltas for grid sweep records.
+
+    Grid records carry ``"sm_occupancy": {workload: peak resident
+    warps}``. A drop means the grid launch packed fewer CTAs per SM —
+    e.g. a cta_dim or shared-memory change shifted the occupancy limit —
+    which explains a speedup move that raw counters won't. Rows are
+    ``(benchmark, workload, base, fresh, delta)``; informational only."""
+    rows = []
+    for name in sorted(set(baseline) & set(fresh)):
+        if only is not None and name not in only:
+            continue
+        base_occ = baseline[name].get("sm_occupancy")
+        new_occ = fresh[name].get("sm_occupancy")
+        if not isinstance(base_occ, dict) or not isinstance(new_occ, dict):
+            continue
+        for workload in sorted(set(base_occ) | set(new_occ)):
+            base_value = int(base_occ.get(workload, 0))
+            new_value = int(new_occ.get(workload, 0))
+            rows.append(
+                (name, workload, base_value, new_value, new_value - base_value)
+            )
+    return rows
+
+
 def counter_delta_rows(baseline, fresh, only=None):
     """Per-layer engine-counter deltas for benchmarks present on both
     sides with a ``counters`` snapshot (written by bench_simulator since
@@ -132,10 +171,18 @@ def main(argv=None):
         print("no BENCH_*.json records found on either side")
         return 1
 
-    rows, failures = compare(
-        baseline, fresh, args.tolerance,
-        only=set(args.only) if args.only else None,
-    )
+    gate_only = set(args.only) if args.only else None
+    bad = missing_counters(fresh, only=gate_only)
+    if bad:
+        for name in bad:
+            print(
+                f"error: fresh BENCH record '{name}' in {args.fresh_dir} "
+                "has no 'counters' block — the benchmark run was truncated "
+                "or the file was edited by hand; re-run the benchmark"
+            )
+        return 1
+
+    rows, failures = compare(baseline, fresh, args.tolerance, only=gate_only)
     width = max(len(name) for name, *_ in rows)
     print(f"{'benchmark'.ljust(width)}  baseline     fresh     status")
     for name, base_speedup, new_speedup, status in rows:
@@ -143,9 +190,7 @@ def main(argv=None):
         new_text = f"{new_speedup:.2f}x" if new_speedup is not None else "-"
         print(f"{name.ljust(width)}  {base_text:>8}  {new_text:>8}  {status}")
 
-    counter_rows = counter_delta_rows(
-        baseline, fresh, only=set(args.only) if args.only else None
-    )
+    counter_rows = counter_delta_rows(baseline, fresh, only=gate_only)
     if counter_rows:
         name_w = max(len(r[0]) for r in counter_rows)
         counter_w = max(len(r[1]) for r in counter_rows)
@@ -158,6 +203,21 @@ def main(argv=None):
             print(
                 f"{name.ljust(name_w)}  {counter.ljust(counter_w)}  "
                 f"{base_value:>12}  {new_value:>12}  {delta:>+12}"
+            )
+
+    occupancy_rows = occupancy_delta_rows(baseline, fresh, only=gate_only)
+    if occupancy_rows:
+        name_w = max(len(r[0]) for r in occupancy_rows)
+        app_w = max(max(len(r[1]) for r in occupancy_rows), len("workload"))
+        print("\nper-SM occupancy, peak resident warps (informational):")
+        print(
+            f"{'benchmark'.ljust(name_w)}  {'workload'.ljust(app_w)}  "
+            f"{'baseline':>10}  {'fresh':>10}  {'delta':>10}"
+        )
+        for name, workload, base_value, new_value, delta in occupancy_rows:
+            print(
+                f"{name.ljust(name_w)}  {workload.ljust(app_w)}  "
+                f"{base_value:>10}  {new_value:>10}  {delta:>+10}"
             )
 
     if failures:

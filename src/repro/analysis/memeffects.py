@@ -69,10 +69,15 @@ _WIDEN_AFTER = 4
 __all__ = [
     "AccessSite",
     "KernelEffects",
+    "SHARED_REGION",
     "analyze_module",
+    "classify_grid",
     "classify_launch",
     "clear_launch_cache",
 ]
+
+#: Region name reported for per-CTA shared-memory access sites.
+SHARED_REGION = "<shared>"
 
 
 class _AbsVal:
@@ -312,6 +317,22 @@ _CMP_OPS = frozenset({
 
 _MEMORY_OPS = frozenset({Opcode.LD, Opcode.ST, Opcode.ATOMADD})
 
+#: Per-CTA shared-memory ops. CTA-private by construction: they are
+#: summarized (region ``<shared>``) but excluded from cross-warp conflict
+#: classification — no two CTAs share a scratchpad, and within a CTA the
+#: engine never reorders them (shared ops are not fusable, so segments,
+#: lockstep epochs and SoA chunks never contain one).
+_SHARED_MEMORY_OPS = frozenset({Opcode.SHLD, Opcode.SHST, Opcode.SHATOM})
+
+_SITE_KINDS = {
+    Opcode.LD: "read",
+    Opcode.ST: "write",
+    Opcode.ATOMADD: "atom",
+    Opcode.SHLD: "read",
+    Opcode.SHST: "write",
+    Opcode.SHATOM: "atom",
+}
+
 
 def _operand(env, op):
     if isinstance(op, Imm):
@@ -368,6 +389,13 @@ def _transfer(instr, env):
         return _interval(0, 1, 0)
     if op is Opcode.BARCNT:
         return _interval(0, WARP_SIZE, 1)
+    if op is Opcode.CTAID:
+        # Launch-uniform but unknown at analysis time; non-negative by
+        # construction. Addresses built from it degrade to "guarded",
+        # which routes grid launches to the always-correct serial path.
+        return _interval(0, _INF, 0)
+    if op in (Opcode.CTADIM, Opcode.NCTA):
+        return _interval(1, _INF, 0)
     if op in (Opcode.SIN, Opcode.COS):
         return _interval(-1, 1, 0)
     if op is Opcode.FLOOR:
@@ -389,12 +417,13 @@ def _transfer(instr, env):
 # ----------------------------------------------------------------------
 
 def _abstract_run(fn, seed_env):
-    """Worklist fixpoint over ``fn``; returns ``{(block, index): (kind,
-    AbsVal)}`` for every memory access site at the post-fixpoint input
-    environment of its block."""
+    """Worklist fixpoint over ``fn``; returns ``(global sites, shared
+    sites)``, each ``{(block, index): (kind, AbsVal)}``, for every memory
+    access site at the post-fixpoint input environment of its block."""
     in_envs = {fn.entry.name: dict(seed_env)}
     visits = {}
     sites = {}
+    shared_sites = {}
     work = deque([fn.entry.name])
     queued = {fn.entry.name}
     while work:
@@ -405,9 +434,13 @@ def _abstract_run(fn, seed_env):
         for index, instr in enumerate(block.instructions):
             op = instr.opcode
             if op in _MEMORY_OPS:
-                kind = {Opcode.LD: "read", Opcode.ST: "write",
-                        Opcode.ATOMADD: "atom"}[op]
-                sites[(bname, index)] = (kind, _operand(env, instr.operands[0]))
+                sites[(bname, index)] = (
+                    _SITE_KINDS[op], _operand(env, instr.operands[0])
+                )
+            elif op in _SHARED_MEMORY_OPS:
+                shared_sites[(bname, index)] = (
+                    _SITE_KINDS[op], _operand(env, instr.operands[0])
+                )
             if instr.dst is not None:
                 env[instr.dst.name] = _transfer(instr, env)
         terminator = block.instructions[-1] if block.instructions else None
@@ -434,7 +467,7 @@ def _abstract_run(fn, seed_env):
             if succ not in queued:
                 work.append(succ)
                 queued.add(succ)
-    return sites
+    return sites, shared_sites
 
 
 def _memory_callees(module, fn):
@@ -513,6 +546,26 @@ class KernelEffects:
         return f"KernelEffects({self.kernel!r}, {self.regions()!r})"
 
 
+def _shared_site_summary(kind, bname, index, val):
+    """Summary of one shld/shst/shatom site: always region ``<shared>``
+    (the scratchpad is CTA-private; its base is not parameter-rooted)."""
+    if val.is_top:
+        return AccessSite(kind, bname, index, SHARED_REGION, "unknown", None)
+    finite = math.isfinite(val.lo) and math.isfinite(val.hi)
+    offset = (val.lo, val.hi) if finite else None
+    if val.ct >= 1:
+        form = "tid-strided"
+    elif val.cw >= 1:
+        form = "warp-strided"
+    elif val.is_point:
+        form = "uniform"
+    elif finite:
+        form = "bounded"
+    else:
+        form = "unknown"
+    return AccessSite(kind, bname, index, SHARED_REGION, form, offset)
+
+
 def _site_summary(fn, kind, bname, index, val):
     if val.is_top:
         return AccessSite(kind, bname, index, "unknown", "unknown", None)
@@ -555,11 +608,15 @@ def analyze_module(module):
             param.name: _AbsVal(i, 0, 0, 0, 0, 0)
             for i, param in enumerate(fn.params)
         }
-        raw = _abstract_run(fn, seed)
+        raw, shared_raw = _abstract_run(fn, seed)
         sites = [
             _site_summary(fn, kind, bname, index, val)
             for (bname, index), (kind, val) in sorted(raw.items())
         ]
+        sites.extend(
+            _shared_site_summary(kind, bname, index, val)
+            for (bname, index), (kind, val) in sorted(shared_raw.items())
+        )
         result[fn.name] = KernelEffects(
             fn.name, sites, _memory_callees(module, fn)
         )
@@ -667,7 +724,10 @@ def _classify(module, kernel_name, args, n_threads):
     for i, param in enumerate(fn.params):
         value = args[i] if i < len(args) else None
         seed[param.name] = _point(value)
-    raw = _abstract_run(fn, seed)
+    # Shared sites are deliberately dropped here: the scratchpad is
+    # CTA-private, so shld/shst/shatom can never couple two warps through
+    # *global* memory (nor two CTAs through anything).
+    raw, _shared = _abstract_run(fn, seed)
     max_warp = max(0, (n_threads - 1) // WARP_SIZE)
     sites = []
     writes = []
@@ -729,3 +789,18 @@ def classify_launch(module, kernel_name, args, n_threads):
     if key is not None:
         entry[1][key] = result
     return result
+
+
+def classify_grid(module, kernel_name, args, total_threads):
+    """``"disjoint"`` when no two *CTAs* of a grid launch can conflict
+    through global memory, else ``"guarded"``.
+
+    This reuses :func:`classify_launch` over the grid's full global thread
+    range: grid launches assign global tids/warp ids exactly as the flat
+    launch of ``total_threads`` would (warps never span CTAs), so pairwise
+    warp disjointness over the whole range implies CTA disjointness. Shared
+    memory needs no check — each CTA owns its scratchpad. ``"disjoint"``
+    licenses sharding provably-independent CTAs across the worker pool;
+    ``"guarded"`` routes the grid to the serial in-process CTA loop.
+    """
+    return classify_launch(module, kernel_name, args, total_threads)

@@ -20,6 +20,8 @@ Mode pipelines (see :data:`repro.core.pipeline.MODE_PIPELINES`)::
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.core.allocation import allocate_module
 from repro.core.deconfliction import (
     deconflict,
@@ -47,6 +49,7 @@ __all__ = [
     "DeconflictPass",
     "LintPass",
     "MemEffectsPass",
+    "OptReport",
     "OptimizePass",
     "PdomSyncPass",
     "SetThresholdPass",
@@ -54,6 +57,7 @@ __all__ = [
     "SrInsertPass",
     "StripDirectivesPass",
     "VerifyPass",
+    "run_opt_fixpoint",
 ]
 
 
@@ -62,9 +66,57 @@ __all__ = [
 # ----------------------------------------------------------------------
 
 
+@dataclass
+class OptReport:
+    """Per-pass change counts across fixpoint iterations."""
+
+    iterations: int = 0
+    changes: dict = field(default_factory=dict)   # pass name -> total count
+
+    @property
+    def total_changes(self):
+        return sum(self.changes.values())
+
+    def describe(self):
+        parts = [f"{name}: {count}" for name, count in self.changes.items()]
+        return f"{self.iterations} iteration(s); " + ", ".join(parts)
+
+
+def run_opt_fixpoint(module, max_iterations=5, verify=True):
+    """Run constfold + DCE + simplify-cfg to a fixpoint, in place.
+
+    The classic-optimization fixpoint loop, usable without a pipeline
+    context (tools, benchmarks); :class:`OptimizePass` wraps it for
+    pipeline descriptions. Safe to run either before the reconvergence
+    pipeline (labels and ``predict`` directives are anchors the passes
+    preserve) or after it (barrier ops are side effects that never fold
+    or die). Returns an :class:`OptReport`.
+    """
+    from repro.opt import dce_module, fold_module, simplify_module
+
+    passes = (
+        ("constfold", fold_module),
+        ("dce", dce_module),
+        ("simplify-cfg", simplify_module),
+    )
+    report = OptReport(changes={name: 0 for name, _ in passes})
+    for _ in range(max_iterations):
+        round_changes = 0
+        for name, pass_fn in passes:
+            count = pass_fn(module)
+            report.changes[name] += count
+            round_changes += count
+            if verify:
+                verify_module(module)
+        report.iterations += 1
+        if round_changes == 0:
+            break
+    return report
+
+
 @register_pass
 class OptimizePass(Pass):
-    """The ``repro.opt`` fixpoint pipeline as a single registered pass."""
+    """The classic-optimization fixpoint as a single registered pass."""
 
     name = "optimize"
     description = "constfold + DCE + simplify-cfg to a fixpoint (repro.opt)"
@@ -73,10 +125,8 @@ class OptimizePass(Pass):
     verify = True
 
     def run(self, module, ctx):
-        from repro.opt import optimize_module
-
-        ctx.report.opt_report = optimize_module(
-            module, verify=self.verify, max_iterations=self.max_iterations
+        ctx.report.opt_report = run_opt_fixpoint(
+            module, max_iterations=self.max_iterations, verify=self.verify
         )
 
 

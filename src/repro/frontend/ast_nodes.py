@@ -160,6 +160,11 @@ class Warpsync(Stmt):
 
 
 @dataclass
+class Ctasync(Stmt):
+    """CTA-wide barrier: every live thread of the CTA must arrive."""
+
+
+@dataclass
 class DelayStmt(Stmt):
     """A fixed-latency placeholder (e.g. a modeled texture fetch)."""
 

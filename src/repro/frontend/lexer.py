@@ -23,6 +23,7 @@ KEYWORDS = {
     "predict",
     "label",
     "warpsync",
+    "ctasync",
     "delay",
     "and",
     "or",

@@ -56,6 +56,9 @@ _NULLARY_INTRINSICS = {
     "lane": Opcode.LANE,
     "warpid": Opcode.WARPID,
     "rand": Opcode.RAND,
+    "ctaid": Opcode.CTAID,
+    "ctadim": Opcode.CTADIM,
+    "nctas": Opcode.NCTA,
 }
 
 
@@ -150,6 +153,12 @@ class _FunctionLowerer:
             return self.builder.atom_add(
                 self.lower_expr(args[0]), self.lower_expr(args[1])
             )
+        if name == "shld":
+            return self.builder.shared_load(self.lower_expr(args[0]))
+        if name == "shatom":
+            return self.builder.shared_atom_add(
+                self.lower_expr(args[0]), self.lower_expr(args[1])
+            )
         if name == "fma":
             return self.builder.fma(*[self.lower_expr(a) for a in args])
         if name == "hash01":
@@ -216,6 +225,15 @@ class _FunctionLowerer:
             )
             return
         if isinstance(stmt, A.ExprStmt):
+            # shst is statement-only, like the 'store' keyword: it produces
+            # no value, so it cannot appear inside an expression.
+            expr = stmt.expr
+            if isinstance(expr, A.CallExpr) and expr.name == "shst":
+                self.builder.shared_store(
+                    self.lower_expr(expr.args[0]),
+                    self.lower_expr(expr.args[1]),
+                )
+                return
             self.lower_expr(stmt.expr)
             return
         if isinstance(stmt, A.If):
@@ -261,6 +279,9 @@ class _FunctionLowerer:
             return
         if isinstance(stmt, A.Warpsync):
             self.builder.warpsync()
+            return
+        if isinstance(stmt, A.Ctasync):
+            self.builder.ctasync()
             return
         if isinstance(stmt, A.DelayStmt):
             self.builder.delay(stmt.cycles)

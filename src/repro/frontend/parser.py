@@ -16,6 +16,7 @@ Grammar sketch::
                 | 'predict' (NAME | @NAME) (',' NUMBER)? ';'
                 | 'label' NAME ':' statement
                 | 'warpsync' ';'
+                | 'ctasync' ';'
                 | 'delay' '(' NUMBER ')' ';'
                 | expr ';'
     expr       := or_expr; standard precedence with 'and'/'or', comparisons,
@@ -208,6 +209,11 @@ class _Parser:
         self.next()
         self.expect("op", ";")
         return A.Warpsync()
+
+    def _stmt_ctasync(self):
+        self.next()
+        self.expect("op", ";")
+        return A.Ctasync()
 
     def _stmt_delay(self):
         self.next()

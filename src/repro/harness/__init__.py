@@ -29,6 +29,7 @@ from repro.harness.report import (
     format_bar,
     format_table,
     markdown_table,
+    sm_occupancy_table,
 )
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "format_table",
     "funccall_microbenchmark",
     "markdown_table",
+    "sm_occupancy_table",
     "table2",
     "render_timeline",
     "convergence_series",

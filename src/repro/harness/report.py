@@ -86,6 +86,21 @@ def opcode_table(opcode_issues, title="Issues by opcode", limit=12):
     return format_table(["opcode", "issues"], rows, title=title)
 
 
+def sm_occupancy_table(sm_schedule, title="Simulated SM schedule"):
+    """A ``GridResult.sm_schedule`` as a per-SM occupancy table. Only SMs
+    that received CTAs appear — a grid smaller than the SM count leaves
+    the rest idle and unlisted."""
+    rows = [
+        (entry["sm"], len(entry["ctas"]), entry["waves"],
+         entry["resident_ctas"], entry["resident_warps"], entry["cycles"])
+        for entry in sm_schedule
+    ]
+    return format_table(
+        ["sm", "ctas", "waves", "resident ctas", "resident warps", "cycles"],
+        rows, title=title,
+    )
+
+
 def counters_table(snapshot, title="Engine counters"):
     """An engine-counter snapshot (``repro.obs.counters``) as a per-layer
     table. Derived ratios (segment coverage) render as percentages."""

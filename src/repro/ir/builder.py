@@ -162,6 +162,18 @@ class IRBuilder:
     def atom_add(self, addr, value, hint="old"):
         return self._emit_value(Opcode.ATOMADD, [addr, value], hint)
 
+    # Per-CTA shared memory (grid launches only)
+    def shared_load(self, addr, hint="sv"):
+        return self._emit_value(Opcode.SHLD, [addr], hint)
+
+    def shared_store(self, addr, value):
+        self.emit(
+            Opcode.SHST, operands=[_as_operand(addr), _as_operand(value)]
+        )
+
+    def shared_atom_add(self, addr, value, hint="sold"):
+        return self._emit_value(Opcode.SHATOM, [addr, value], hint)
+
     # ------------------------------------------------------------------
     # Control flow
     # ------------------------------------------------------------------
@@ -229,6 +241,9 @@ class IRBuilder:
 
     def warpsync(self):
         self.emit(Opcode.WARPSYNC)
+
+    def ctasync(self):
+        self.emit(Opcode.CTASYNC)
 
     def nop(self):
         self.emit(Opcode.NOP)

@@ -73,10 +73,20 @@ class Opcode(enum.Enum):
     WARPID = "warpid"
     RAND = "rand"
 
+    # Grid identity (launch-uniform within one CTA).
+    CTAID = "ctaid"
+    CTADIM = "ctadim"
+    NCTA = "nctas"
+
     # Memory.
     LD = "ld"
     ST = "st"
     ATOMADD = "atomadd"
+
+    # Per-CTA shared memory.
+    SHLD = "shld"
+    SHST = "shst"
+    SHATOM = "shatom"
 
     # Control flow (terminators, except CALL).
     BRA = "bra"
@@ -96,6 +106,7 @@ class Opcode(enum.Enum):
     # Markers and miscellany.
     PREDICT = "predict"
     WARPSYNC = "warpsync"
+    CTASYNC = "ctasync"
     NOP = "nop"
     DELAY = "delay"
 
@@ -214,8 +225,13 @@ HAS_DST = (
             Opcode.LANE,
             Opcode.WARPID,
             Opcode.RAND,
+            Opcode.CTAID,
+            Opcode.CTADIM,
+            Opcode.NCTA,
             Opcode.LD,
             Opcode.ATOMADD,
+            Opcode.SHLD,
+            Opcode.SHATOM,
             Opcode.BARCNT,
         }
     )
@@ -233,7 +249,9 @@ BARRIER_OPS = frozenset(
 )
 
 #: Sources of thread-divergent values for the divergence analysis.
-DIVERGENT_SOURCES = frozenset({Opcode.TID, Opcode.LANE, Opcode.RAND, Opcode.ATOMADD})
+DIVERGENT_SOURCES = frozenset(
+    {Opcode.TID, Opcode.LANE, Opcode.RAND, Opcode.ATOMADD, Opcode.SHATOM}
+)
 
 
 class Instruction:

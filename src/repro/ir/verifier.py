@@ -37,9 +37,15 @@ _ARITY = {
     Opcode.LANE: 0,
     Opcode.WARPID: 0,
     Opcode.RAND: 0,
+    Opcode.CTAID: 0,
+    Opcode.CTADIM: 0,
+    Opcode.NCTA: 0,
     Opcode.LD: 1,
     Opcode.ST: 2,
     Opcode.ATOMADD: 2,
+    Opcode.SHLD: 1,
+    Opcode.SHST: 2,
+    Opcode.SHATOM: 2,
     Opcode.BRA: 1,
     Opcode.CBR: 3,
     Opcode.RET: None,
@@ -53,6 +59,7 @@ _ARITY = {
     Opcode.BARCNT: 1,
     Opcode.PREDICT: None,
     Opcode.WARPSYNC: 0,
+    Opcode.CTASYNC: 0,
     Opcode.NOP: 0,
     Opcode.DELAY: 1,
 }

@@ -102,12 +102,21 @@ COUNTERS = {
         "kernel launches completed",
     "launch.errors":
         "launches aborted by LaunchError/DeadlockError",
+    # --- grid: CTA hierarchy and simulated SMs (repro.simt.grid) ------
+    "grid.ctas_launched":
+        "CTAs executed by grid launches",
+    "grid.sm_occupancy":
+        "peak resident warps on any simulated SM (max, not sum)",
+    "grid.shared_bytes":
+        "per-CTA shared-memory bytes allocated (8 bytes/word)",
+    "grid.pool_sharded_ctas":
+        "CTAs executed on the persistent worker pool",
 }
 
 #: Layer prefixes in display order (the per-layer tables follow this).
 LAYERS = (
     "fastpath", "segments", "soa", "batch", "program_cache", "passmgr",
-    "pool", "launch",
+    "pool", "launch", "grid",
 )
 
 

@@ -1,24 +1,18 @@
-"""Classic IR optimizations, safe around reconvergence annotations."""
+"""Classic IR optimizations, safe around reconvergence annotations.
+
+Just the transforms. The fixpoint driver lives with the pipeline passes
+(:func:`repro.core.passes.run_opt_fixpoint`, the ``optimize`` pass).
+"""
 
 from repro.opt.constfold import fold_function, fold_module
 from repro.opt.dce import dce_module, eliminate_dead_code
-from repro.opt.pass_manager import (
-    STANDARD_PASSES,
-    OptReport,
-    PassManager,
-    optimize_module,
-)
 from repro.opt.simplify_cfg import simplify_function, simplify_module
 
 __all__ = [
-    "OptReport",
-    "PassManager",
-    "STANDARD_PASSES",
     "dce_module",
     "eliminate_dead_code",
     "fold_function",
     "fold_module",
-    "optimize_module",
     "simplify_function",
     "simplify_module",
 ]

@@ -17,6 +17,8 @@ from repro.simt.batch import (
     warp_batch_disabled,
     warp_batch_enabled,
 )
+from repro.simt.cta import CTASYNC_BARRIER, CTAContext
+from repro.simt.grid import GridLaunch, GridResult, grid_sharding_enabled
 from repro.simt.machine import DEFAULT_MAX_ISSUES, GPUMachine, LaunchResult
 from repro.simt.segments import (
     Segment,
@@ -33,7 +35,7 @@ from repro.simt.soa import (
     soa_disabled,
     soa_enabled,
 )
-from repro.simt.memory import GlobalMemory
+from repro.simt.memory import GlobalMemory, SharedMemory
 from repro.simt.profiler import BlockProfile, Profiler
 from repro.simt.rng import XorShift32, mix_seed
 from repro.simt.reference import run_reference_launch, run_reference_thread
@@ -51,6 +53,8 @@ __all__ = [
     "ALL_MEMBERS",
     "BarrierFile",
     "BlockProfile",
+    "CTASYNC_BARRIER",
+    "CTAContext",
     "ConvergenceBarrier",
     "ConvergenceScheduler",
     "CostModel",
@@ -62,6 +66,8 @@ __all__ = [
     "Frame",
     "GPUMachine",
     "GlobalMemory",
+    "GridLaunch",
+    "GridResult",
     "LaunchResult",
     "OldestFirstScheduler",
     "Profiler",
@@ -69,6 +75,7 @@ __all__ = [
     "SCHEDULERS",
     "Segment",
     "SegmentTable",
+    "SharedMemory",
     "StackGPUMachine",
     "Thread",
     "ThreadState",
@@ -80,6 +87,7 @@ __all__ = [
     "decode_program",
     "fastpath_disabled",
     "fastpath_enabled",
+    "grid_sharding_enabled",
     "make_scheduler",
     "mix_seed",
     "segments_disabled",

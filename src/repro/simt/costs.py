@@ -48,9 +48,17 @@ _DEFAULT_LATENCIES = {
     Opcode.LANE: 1,
     Opcode.WARPID: 1,
     Opcode.RAND: 2,
+    Opcode.CTAID: 1,
+    Opcode.CTADIM: 1,
+    Opcode.NCTA: 1,
     Opcode.LD: 20,
     Opcode.ST: 4,
     Opcode.ATOMADD: 20,
+    # Shared memory: on-chip, no coalescing model — flat latency well under
+    # the global LD/ST/ATOMADD costs.
+    Opcode.SHLD: 4,
+    Opcode.SHST: 2,
+    Opcode.SHATOM: 6,
     Opcode.BRA: 1,
     Opcode.CBR: 1,
     Opcode.RET: 2,
@@ -64,6 +72,7 @@ _DEFAULT_LATENCIES = {
     Opcode.BARCNT: 1,
     Opcode.PREDICT: 0,
     Opcode.WARPSYNC: 1,
+    Opcode.CTASYNC: 1,
     Opcode.NOP: 1,
     Opcode.DELAY: 0,  # cost comes from the immediate operand
 }

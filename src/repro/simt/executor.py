@@ -22,11 +22,14 @@ from repro.obs.events import (
 )
 from repro.obs.sinks import NULL_SINK
 from repro.simt.barrier_state import ALL_MEMBERS
+from repro.simt.cta import CTASYNC_BARRIER
 
 _WARPSYNC_BARRIER = "__warpsync__"
 
 #: Opcodes whose execution can park lanes on a convergence barrier.
-_PARK_OPS = frozenset((Opcode.BSYNC, Opcode.BSYNCSOFT, Opcode.WARPSYNC))
+_PARK_OPS = frozenset(
+    (Opcode.BSYNC, Opcode.BSYNCSOFT, Opcode.WARPSYNC, Opcode.CTASYNC)
+)
 
 
 def _as_int(value):
@@ -91,11 +94,16 @@ class Executor:
     """Executes instructions for thread groups of one launch."""
 
     def __init__(self, module, memory, cost_model, profiler, sink=None,
-                 metrics=None, fastpath=None, segments=None, soa=None):
+                 metrics=None, fastpath=None, segments=None, soa=None,
+                 cta=None):
         self.module = module
         self.memory = memory
         self.cost_model = cost_model
         self.profiler = profiler
+        # CTA launch context (repro.simt.cta): grid identity, per-CTA shared
+        # memory, and the CTA-wide ctasync barrier. None only for executors
+        # built outside a GPUMachine launch; grid opcodes then raise.
+        self.cta = cta
         # Observability: a pluggable event sink plus a stall-metrics
         # registry. With the defaults, the per-issue cost is one boolean
         # check and no allocations.
@@ -182,6 +190,16 @@ class Executor:
                 f"barrier register holds non-barrier value {name!r}"
             )
         return name
+
+    def _cta_ctx(self, opcode):
+        """The CTA context, required by the grid opcodes."""
+        ctx = self.cta
+        if ctx is None:
+            raise SimulationError(
+                f"{opcode.value} needs a CTA context "
+                "(this execution engine does not model grid launches)"
+            )
+        return ctx
 
     # ------------------------------------------------------------------
     def execute(self, warp, pc, group):
@@ -280,6 +298,41 @@ class Executor:
         elif opcode is Opcode.RAND:
             for thread in group:
                 thread.frame.write(instr.dst, thread.rng.uniform())
+                thread.advance()
+        elif opcode is Opcode.CTAID:
+            value = self._cta_ctx(opcode).cta_id
+            for thread in group:
+                thread.frame.write(instr.dst, value)
+                thread.advance()
+        elif opcode is Opcode.CTADIM:
+            value = self._cta_ctx(opcode).cta_dim
+            for thread in group:
+                thread.frame.write(instr.dst, value)
+                thread.advance()
+        elif opcode is Opcode.NCTA:
+            value = self._cta_ctx(opcode).grid_dim
+            for thread in group:
+                thread.frame.write(instr.dst, value)
+                thread.advance()
+        elif opcode is Opcode.SHLD:
+            shared = self._cta_ctx(opcode).shared()
+            for thread in group:
+                addr = self._value(thread, instr.operands[0])
+                thread.frame.write(instr.dst, shared.load(addr))
+                thread.advance()
+        elif opcode is Opcode.SHST:
+            shared = self._cta_ctx(opcode).shared()
+            for thread in group:
+                addr = self._value(thread, instr.operands[0])
+                value = self._value(thread, instr.operands[1])
+                shared.store(addr, value)
+                thread.advance()
+        elif opcode is Opcode.SHATOM:
+            shared = self._cta_ctx(opcode).shared()
+            for thread in group:
+                addr = self._value(thread, instr.operands[0])
+                value = self._value(thread, instr.operands[1])
+                thread.frame.write(instr.dst, shared.atom_add(addr, value))
                 thread.advance()
         elif opcode is Opcode.LD:
             addresses = []
@@ -388,6 +441,15 @@ class Executor:
                 thread.advance()
                 if barrier.park(thread.lane, ALL_MEMBERS):
                     thread.park(_WARPSYNC_BARRIER)
+        elif opcode is Opcode.CTASYNC:
+            # CTA-wide barrier: arrivals park across warp boundaries; the
+            # last live arrival opens the barrier for the whole CTA (the
+            # exit-path re-check lives in GPUMachine._step).
+            ctx = self._cta_ctx(opcode)
+            for thread in group:
+                thread.advance()  # resume past the wait when released
+                ctx.arrive(thread)
+            ctx.maybe_release()
         elif opcode in (Opcode.NOP, Opcode.PREDICT):
             for thread in group:
                 thread.advance()
@@ -457,7 +519,13 @@ class Executor:
                         thread.lane
                     )
             for name, lanes in parked.items():
-                occupancy = len(warp.barriers.get(name).parked)
+                if name == CTASYNC_BARRIER:
+                    # The CTA barrier lives on the CTA context, not in the
+                    # warp's barrier file (it spans warps); occupancy is the
+                    # CTA-wide arrival count.
+                    occupancy = len(self.cta.arrived) if self.cta else 0
+                else:
+                    occupancy = len(warp.barriers.get(name).parked)
                 if metrics is not None:
                     metrics.on_park(warp.warp_id, name, lanes, ts, occupancy)
                 if sink.enabled:

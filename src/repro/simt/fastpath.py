@@ -347,6 +347,87 @@ def _decode_rand(instr, latency, slots):
     return run
 
 
+def _decode_cta_value(instr, latency, slots, attr):
+    # CTA identity is launch-uniform but *not* decode-time constant: the
+    # decoded program is shared across every launch (and every CTA) of the
+    # module, so the value must come from the executor's CTA context at run
+    # time, never be baked into the closure.
+    dst = slots[instr.dst.name]
+    opcode = instr.opcode
+
+    def run(executor, warp, group):
+        value = getattr(executor._cta_ctx(opcode), attr)
+        for thread in group:
+            frame = thread.frames[-1]
+            frame.regs[dst] = value
+            frame.index += 1
+        return latency
+
+    return run
+
+
+def _decode_shld(instr, latency, slots):
+    dst = slots[instr.dst.name]
+    get_addr = _getter(instr.operands[0], slots)
+    opcode = instr.opcode
+
+    def run(executor, warp, group):
+        load = executor._cta_ctx(opcode).shared().load
+        for thread in group:
+            frame = thread.frames[-1]
+            frame.regs[dst] = load(get_addr(thread))
+            frame.index += 1
+        return latency
+
+    return run
+
+
+def _decode_shst(instr, latency, slots):
+    get_addr = _getter(instr.operands[0], slots)
+    get_value = _getter(instr.operands[1], slots)
+    opcode = instr.opcode
+
+    def run(executor, warp, group):
+        store = executor._cta_ctx(opcode).shared().store
+        for thread in group:
+            store(get_addr(thread), get_value(thread))
+            thread.frames[-1].index += 1
+        return latency
+
+    return run
+
+
+def _decode_shatom(instr, latency, slots):
+    dst = slots[instr.dst.name]
+    get_addr = _getter(instr.operands[0], slots)
+    get_value = _getter(instr.operands[1], slots)
+    opcode = instr.opcode
+
+    def run(executor, warp, group):
+        atom_add = executor._cta_ctx(opcode).shared().atom_add
+        for thread in group:
+            frame = thread.frames[-1]
+            frame.regs[dst] = atom_add(get_addr(thread), get_value(thread))
+            frame.index += 1
+        return latency
+
+    return run
+
+
+def _decode_ctasync(instr, latency):
+    opcode = instr.opcode
+
+    def run(executor, warp, group):
+        ctx = executor._cta_ctx(opcode)
+        for thread in group:
+            thread.frames[-1].index += 1  # resume past the wait when released
+            ctx.arrive(thread)
+        ctx.maybe_release()
+        return latency
+
+    return run
+
+
 def _decode_ld(instr, cost_model, slots):
     dst = slots[instr.dst.name]
     get_addr = _getter(instr.operands[0], slots)
@@ -647,6 +728,18 @@ def _decode_instruction(instr, cost_model, module, slots):
         run = _decode_identity(instr, latency, slots, "warp_id")
     elif opcode is Opcode.RAND:
         run = _decode_rand(instr, latency, slots)
+    elif opcode is Opcode.CTAID:
+        run = _decode_cta_value(instr, latency, slots, "cta_id")
+    elif opcode is Opcode.CTADIM:
+        run = _decode_cta_value(instr, latency, slots, "cta_dim")
+    elif opcode is Opcode.NCTA:
+        run = _decode_cta_value(instr, latency, slots, "grid_dim")
+    elif opcode is Opcode.SHLD:
+        run = _decode_shld(instr, latency, slots)
+    elif opcode is Opcode.SHST:
+        run = _decode_shst(instr, latency, slots)
+    elif opcode is Opcode.SHATOM:
+        run = _decode_shatom(instr, latency, slots)
     elif opcode is Opcode.LD:
         run = _decode_ld(instr, cost_model, slots)
     elif opcode is Opcode.ST:
@@ -677,6 +770,8 @@ def _decode_instruction(instr, cost_model, module, slots):
         run = _decode_barcnt(instr, latency, slots)
     elif opcode is Opcode.WARPSYNC:
         run = _decode_warpsync(instr, latency)
+    elif opcode is Opcode.CTASYNC:
+        run = _decode_ctasync(instr, latency)
     elif opcode in (Opcode.NOP, Opcode.PREDICT):
         run = _decode_advance(instr, latency)
     elif opcode is Opcode.DELAY:

@@ -18,6 +18,7 @@ from repro.obs.metrics import LaunchMetrics
 from repro.obs.recorder import attach_post_mortem, make_recorder
 from repro.obs.sinks import ambient_sink
 from repro.simt.costs import DEFAULT_COST_MODEL
+from repro.simt.cta import CTAContext
 from repro.simt.executor import Executor
 from repro.simt.memory import GlobalMemory
 from repro.simt.profiler import Profiler
@@ -62,6 +63,8 @@ class LaunchResult:
     counters: dict = field(default=None, repr=False)
     #: the launch's FlightRecorder (None when recording is off)
     flight_recorder: object = field(default=None, repr=False)
+    #: the CTA context the launch ran under (grid identity, shared memory)
+    cta: object = field(default=None, repr=False)
 
     @property
     def simt_efficiency(self):
@@ -129,7 +132,7 @@ class GPUMachine:
         #: the active launch's recorder (the batcher records into it)
         self._recorder = None
 
-    def launch(self, kernel_name, n_threads, args=(), memory=None):
+    def launch(self, kernel_name, n_threads, args=(), memory=None, cta=None):
         kernel = self.module.function(kernel_name)
         if not kernel.is_kernel:
             raise LaunchError(f"@{kernel_name} is not a kernel")
@@ -141,6 +144,14 @@ class GPUMachine:
                 f"got {len(args)}"
             )
         memory = memory if memory is not None else GlobalMemory()
+        # One launch = one CTA. The default context is the degenerate
+        # single-CTA grid (cta_id 0, zero tid/warp bases), which makes a
+        # flat launch bit-identical to the pre-grid engine; GridLaunch
+        # passes one context per CTA with global bases.
+        if cta is None:
+            cta = CTAContext(cta_dim=n_threads)
+        elif cta.cta_dim is None:
+            cta.cta_dim = n_threads
         profiler = Profiler(trace=self.trace)
         metrics = LaunchMetrics() if self.metrics else None
         profiler.metrics = metrics
@@ -151,20 +162,29 @@ class GPUMachine:
         executor = Executor(
             self.module, memory, self.cost_model, profiler,
             sink=sink, metrics=metrics, fastpath=self.fastpath,
-            segments=self.segments, soa=self.soa,
+            segments=self.segments, soa=self.soa, cta=cta,
         )
         scheduler = make_scheduler(self.scheduler_name)
 
+        # Grid launches offset tids and warp ids by the CTA's global bases,
+        # so RNG streams and warp identity match the equivalent flat launch
+        # of the whole grid (both are zero for a flat launch).
+        tid_base = cta.tid_base
+        warp_base = cta.warp_base
         warps = []
         all_threads = []
         for base in range(0, n_threads, WARP_SIZE):
-            warp_id = base // WARP_SIZE
+            warp_id = warp_base + base // WARP_SIZE
             threads = [
-                Thread(tid, tid - base, warp_id, kernel, args, self.seed)
+                Thread(
+                    tid_base + tid, tid - base, warp_id, kernel, args,
+                    self.seed,
+                )
                 for tid in range(base, min(base + WARP_SIZE, n_threads))
             ]
             warps.append(Warp(warp_id, threads))
             all_threads.extend(threads)
+        cta.warps = warps
 
         recorder = make_recorder(kernel_name, n_threads, self.flight_recorder)
         self._recorder = recorder
@@ -243,6 +263,7 @@ class GPUMachine:
             threads=all_threads,
             counters=counters,
             flight_recorder=recorder,
+            cta=cta,
         )
 
     # ------------------------------------------------------------------
@@ -366,6 +387,17 @@ class GPUMachine:
             if not warp.live_threads():
                 warp.done = True
                 return False
+            cta = executor.cta
+            if cta is not None and cta.has_ctasync_waiters(warp):
+                # CTA-wide barrier: arrival happens in the ctasync handler,
+                # but the *exit* of a thread in another warp can shrink the
+                # membership — re-check release here. When the barrier
+                # cannot open yet, stall (no issue) as long as a sibling
+                # warp can still make progress toward it.
+                if cta.maybe_release():
+                    return False
+                if cta.others_can_progress(warp):
+                    return False
             waiting = [
                 (t.lane, t.waiting_on) for t in warp.threads if not t.is_exited
             ]

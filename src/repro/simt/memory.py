@@ -70,6 +70,60 @@ class GlobalMemory:
         return len(self._cells)
 
 
+class SharedMemory:
+    """Per-CTA on-chip scratchpad: fixed size, word-addressed, bounds-checked.
+
+    Unlike :class:`GlobalMemory` there is no allocator and no sparse address
+    space — a CTA declares ``shared_words`` up front (the grid launch's
+    analogue of the kernel's static smem footprint) and every access must
+    land inside ``[0, shared_words)``. Out-of-bounds accesses raise
+    :class:`SimulationError` immediately: shared memory is CTA-private by
+    construction, so an OOB index is always a kernel bug, never an aliasing
+    question for the mem-effects analysis.
+    """
+
+    __slots__ = ("_words", "_cells")
+
+    def __init__(self, words):
+        if words < 0:
+            raise SimulationError(f"negative shared memory size {words}")
+        self._words = words
+        self._cells = {}
+
+    def _check(self, addr):
+        key = int(addr)
+        if key < 0 or key >= self._words:
+            raise SimulationError(
+                f"shared memory access out of bounds: address {key} "
+                f"not in [0, {self._words})"
+            )
+        return key
+
+    @property
+    def words(self):
+        return self._words
+
+    def load(self, addr):
+        return self._cells.get(self._check(addr), 0)
+
+    def store(self, addr, value):
+        self._cells[self._check(addr)] = value
+
+    def atom_add(self, addr, value):
+        """Atomic fetch-and-add; returns the old value."""
+        key = self._check(addr)
+        old = self._cells.get(key, 0)
+        self._cells[key] = old + value
+        return old
+
+    def snapshot(self):
+        """Copy of all written cells (for result comparison in tests)."""
+        return dict(self._cells)
+
+    def __len__(self):
+        return len(self._cells)
+
+
 class FootprintOverflow(Exception):
     """A guarded burst touched more addresses than the footprint cap."""
 

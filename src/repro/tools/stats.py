@@ -15,7 +15,11 @@ snapshots, "which layer moved")::
     python -m repro.tools.stats --sweep --jobs 4 --events \\
         --trace merged.json
 
-    # which layer moved between two saved snapshots?
+    # the 10^5-thread grid corpus: per-SM occupancy + grid.* counters
+    python -m repro.tools.stats --grid --jobs 4
+
+    # which layer moved between two saved snapshots? (BENCH_*.json grid
+    # records also diff their per-app sm_occupancy)
     python -m repro.tools.stats --diff before.json after.json
 
 Counters describe the engine, not the simulated program: fusion coverage
@@ -38,6 +42,7 @@ from repro.harness.report import (
     counters_delta_table,
     counters_table,
     format_table,
+    sm_occupancy_table,
 )
 from repro.obs import counters as obs_counters
 from repro.obs.chrome_trace import write_merged_worker_trace
@@ -75,6 +80,16 @@ def build_parser():
     parser.add_argument(
         "--sweep", action="store_true",
         help="run every workload in baseline and sr mode",
+    )
+    parser.add_argument(
+        "--grid", action="store_true",
+        help="run the 10^5-thread grid corpus as grid launches and report "
+             "per-SM occupancy plus the grid.* counter layer",
+    )
+    parser.add_argument(
+        "--sm-schedule", action="store_true",
+        help="with --grid, also print the full per-SM schedule table "
+             "for each app (one row per simulated SM)",
     )
     parser.add_argument(
         "--workloads", nargs="*", default=None, metavar="NAME",
@@ -119,21 +134,41 @@ def _save_snapshot(path, counters, meta):
 def _load_snapshot(path):
     with open(path) as handle:
         data = json.load(handle)
-    # Accept bare snapshots, tools.stats files, and BENCH_*.json records.
-    if isinstance(data, dict) and isinstance(data.get("counters"), dict):
-        return data["counters"]
     if not isinstance(data, dict):
         raise SystemExit(f"error: {path} is not a counter snapshot")
     return data
 
 
+def _snapshot_counters(data):
+    # Accept bare snapshots, tools.stats files, and BENCH_*.json records.
+    if isinstance(data.get("counters"), dict):
+        return data["counters"]
+    return data
+
+
 def _run_diff(path_a, path_b):
-    before = _load_snapshot(path_a)
-    after = _load_snapshot(path_b)
+    data_a = _load_snapshot(path_a)
+    data_b = _load_snapshot(path_b)
     print(counters_delta_table(
-        after, before, title=f"Engine counter deltas ({path_b} - {path_a})",
+        _snapshot_counters(data_b), _snapshot_counters(data_a),
+        title=f"Engine counter deltas ({path_b} - {path_a})",
         skip_zero=True,
     ))
+    # Grid sweep records and --grid snapshots carry per-app peak SM
+    # occupancy; diff it when both sides have one.
+    occ_a = data_a.get("sm_occupancy")
+    occ_b = data_b.get("sm_occupancy")
+    if isinstance(occ_a, dict) and isinstance(occ_b, dict):
+        rows = []
+        for name in sorted(set(occ_a) | set(occ_b)):
+            old = int(occ_a.get(name, 0))
+            new = int(occ_b.get(name, 0))
+            rows.append((name, old, new, f"{new - old:+d}"))
+        print()
+        print(format_table(
+            ["workload", path_a, path_b, "delta"], rows,
+            title="Peak resident warps per SM",
+        ))
     return 0
 
 
@@ -161,6 +196,63 @@ def _run_single(args):
     if args.json:
         _save_snapshot(args.json, moved, {
             "workload": args.workload, "mode": args.mode, "seed": args.seed,
+        })
+    return 0
+
+
+def _run_grid(args):
+    """Grid-corpus sweep: each app as one :class:`GridLaunch` at the
+    canonical grid shape. Reports per-app peak SM occupancy and the
+    ``grid.*`` counter layer; the pool shards CTAs when the kernel's
+    memory effects prove the CTAs disjoint."""
+    from repro.simt import GridLaunch
+    from repro.simt.memory import GlobalMemory
+    from repro.workloads import GRID_CTA_DIM, GRID_GRID_DIM, grid_corpus
+
+    n_threads = GRID_GRID_DIM * GRID_CTA_DIM
+    before = obs_counters.snapshot()
+    rows = []
+    occupancy = {}
+    schedules = {}
+    for app in grid_corpus():
+        memory = GlobalMemory()
+        kernel_args = app.setup(memory, n_threads)
+        result = GridLaunch(
+            app.module(), GRID_GRID_DIM, GRID_CTA_DIM,
+            jobs=args.jobs, seed=args.seed,
+        ).launch(app.kernel_name, kernel_args, memory=memory)
+        occupancy[app.name] = max(
+            entry["resident_warps"] for entry in result.sm_schedule
+        )
+        schedules[app.name] = result.sm_schedule
+        rows.append((
+            app.name,
+            f"{result.grid_dim}x{result.cta_dim}",
+            "pool" if result.sharded else "serial",
+            result.cycles,
+            f"{result.simt_efficiency:.1%}",
+            occupancy[app.name],
+        ))
+    moved = obs_counters.delta(obs_counters.snapshot(), before)
+
+    print(format_table(
+        ["app", "grid", "path", "cycles", "simt eff", "peak warps/SM"],
+        rows,
+        title=f"Grid corpus ({n_threads} threads per app)",
+    ))
+    if args.sm_schedule:
+        for name, schedule in schedules.items():
+            print()
+            print(sm_occupancy_table(
+                schedule, title=f"SM schedule: {name}"
+            ))
+    print()
+    print(counters_table(moved, title="Process counter delta (grid sweep)"))
+    if args.json:
+        _save_snapshot(args.json, moved, {
+            "grid": sorted(occupancy), "grid_dim": GRID_GRID_DIM,
+            "cta_dim": GRID_CTA_DIM, "seed": args.seed, "jobs": args.jobs,
+            "sm_occupancy": occupancy,
         })
     return 0
 
@@ -244,10 +336,14 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.diff is not None:
         return _run_diff(*args.diff)
+    if args.grid:
+        return _run_grid(args)
     if args.sweep:
         return _run_sweep(args)
     if args.workload is None:
-        build_parser().error("give a WORKLOAD, --sweep, or --diff A B")
+        build_parser().error(
+            "give a WORKLOAD, --sweep, --grid, or --diff A B"
+        )
     return _run_single(args)
 
 

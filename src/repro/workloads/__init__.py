@@ -21,6 +21,14 @@ from repro.workloads.base import (
     register,
     workload_names,
 )
+from repro.workloads.grid_corpus import (
+    GRID_CTA_DIM,
+    GRID_GRID_DIM,
+    GRID_REGISTRY,
+    GridApp,
+    get_grid_app,
+    grid_corpus,
+)
 
 #: Workloads evaluated in Figure 7 / Figure 8 (Table 2 order).
 FIGURE7_WORKLOADS = (
@@ -37,11 +45,17 @@ FIGURE7_WORKLOADS = (
 
 __all__ = [
     "FIGURE7_WORKLOADS",
+    "GRID_CTA_DIM",
+    "GRID_GRID_DIM",
+    "GRID_REGISTRY",
+    "GridApp",
     "REGISTRY",
     "Workload",
     "WorkloadResult",
     "all_workloads",
+    "get_grid_app",
     "get_workload",
+    "grid_corpus",
     "register",
     "workload_names",
 ]

@@ -29,15 +29,18 @@ from contextlib import contextmanager
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import compile_baseline, compile_sr
 from repro.errors import DeadlockError, LaunchError
 from repro.frontend import compile_kernel_source
 from repro.frontend.lower import lower_program
 from repro.simt import (
+    CTAContext,
     DEFAULT_MAX_ISSUES,
     GPUMachine,
     GlobalMemory,
+    GridLaunch,
     SCHEDULERS,
     StackGPUMachine,
     soa_available,
@@ -400,6 +403,256 @@ class TestSoAConformance:
                 soa=False,
             )
             assert _fingerprint(unfused_soa) == _fingerprint(reference), name
+
+
+def _grid_launch(workload, compiled, grid_dim, cta_dim, scheduler=None,
+                 seed=2020, jobs=1, **machine_kwargs):
+    """One grid launch of a compiled workload on a fresh memory."""
+    memory = GlobalMemory()
+    args = workload.setup(memory)
+    kwargs = {"seed": seed, "jobs": jobs, **machine_kwargs}
+    if scheduler is not None:
+        kwargs["scheduler"] = scheduler
+    return GridLaunch(compiled.module, grid_dim, cta_dim, **kwargs).launch(
+        workload.kernel_name, args, memory=memory
+    )
+
+
+def _grid_observables(grid):
+    return (
+        grid.store_traces(),
+        grid.retired_per_thread(),
+        grid.cycles,
+        grid.issued,
+        grid.simt_efficiency,
+    )
+
+
+def _flat_observables(launch):
+    return (
+        launch.store_traces(),
+        launch.retired_per_thread(),
+        launch.cycles,
+        launch.profiler.issued,
+        launch.simt_efficiency,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+class TestGridConformance:
+    """Grid launches vs the flat reference engine.
+
+    The single-CTA grid must be *bit-identical* to ``launch()`` — same
+    tids, warp ids, RNG streams, traces, cycles — because the flat launch
+    is defined as the degenerate grid. Multi-CTA grids of the same thread
+    range must agree on every per-thread observable for workloads whose
+    memory is deterministic (the SM occupancy model re-times the launch,
+    so only ``cycles`` is allowed to differ from flat).
+    """
+
+    def test_grid_of_one_cta_bit_identical(self, name):
+        workload = get_workload(name, **CORPUS[name])
+        for mode in MODES:
+            compiled = _compiled(workload, mode)
+            flat = _launch(workload, compiled, GPUMachine, True)
+            grid = _grid_launch(
+                workload, compiled, 1, workload.n_threads
+            )
+            assert _grid_observables(grid) == _flat_observables(flat), (
+                name, mode,
+            )
+            assert not grid.sharded
+
+    def test_multi_cta_matches_flat_launch(self, name):
+        workload = get_workload(name, **CORPUS[name])
+        if not workload.deterministic_memory:
+            pytest.skip(f"{name} uses a dynamic work queue")
+        for mode in MODES:
+            compiled = _compiled(workload, mode)
+            for scheduler in sorted(SCHEDULERS):
+                flat = _launch(
+                    workload, compiled, GPUMachine, True, scheduler,
+                    n_threads=96,
+                )
+                grid = _grid_launch(
+                    workload, compiled, 3, 32, scheduler=scheduler
+                )
+                assert grid.store_traces() == flat.store_traces(), (
+                    name, mode, scheduler,
+                )
+                assert (
+                    grid.retired_per_thread() == flat.retired_per_thread()
+                ), (name, mode, scheduler)
+                # ``issued`` is not comparable across launch shapes: the
+                # round-robin scheduler's rotation state spans all warps
+                # of one launch, so repacking (and with it issue-slot
+                # counts) legitimately differs while per-thread results
+                # stay invariant.
+
+
+@st.composite
+def ctasync_kernel(draw):
+    """A divergent kernel with a CTA-wide barrier at a drawn position:
+    uniformly before the loop, inside the divergent branch (threads that
+    never take it must shrink the membership by exiting), or after the
+    loop (warps arrive at wildly different times). Optionally the CTA also
+    cooperates through its shared scratchpad across the barrier."""
+    scale = draw(st.integers(2, 8))
+    prob = draw(st.floats(0.2, 0.8))
+    position = draw(st.sampled_from(["uniform", "divergent", "tail"]))
+    use_shared = draw(st.booleans())
+    lines = [
+        "let t = tid();",
+        "let acc = 0.0;",
+    ]
+    if position == "uniform":
+        lines.append("ctasync;")
+    lines += [
+        f"let trips = floor(hash01(t * 3.7) * {scale}.0) + 1;",
+        "let i = 0;",
+        "while (i < trips) {",
+        "    acc = fma(acc, 1.0003, 0.25);",
+    ]
+    if position == "divergent":
+        lines.append(f"    if (hash01(t * 7.0 + i) < {prob}) {{ ctasync; }}")
+    lines += [
+        "    i = i + 1;",
+        "}",
+    ]
+    if position == "tail":
+        lines.append("ctasync;")
+    if use_shared:
+        lines += [
+            "let ticket = shatom(0, 1.0);",
+            "ctasync;",
+            "acc = acc + shld(0) + ticket;",
+        ]
+    lines.append("store(t, acc);")
+    body = "\n    ".join(lines)
+    return f"kernel k() {{\n    {body}\n}}"
+
+
+#: Half of each warp parks at the CTA-wide barrier, the other half at a
+#: warp-wide sync: neither can open (each waits on lanes parked at the
+#: other), which must deadlock identically everywhere.
+CROSSED_BARRIERS = """
+kernel k() {
+    if (tid() - ctaid() * ctadim() < 16) {
+        ctasync;
+    } else {
+        warpsync;
+    }
+    store(tid(), 1.0);
+}
+"""
+
+
+class TestGridFuzzConformance:
+    """Hypothesis fuzz for the grid hierarchy: CTA barriers, shared
+    scratchpads, and the pool-sharded path against the serial loop."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(ctasync_kernel())
+    def test_grid_matches_per_cta_flat_launches(self, source):
+        """The definitional oracle: a serial grid is exactly successive
+        flat launches in cta_id order with explicit CTA contexts on one
+        shared memory.
+
+        A divergent-position ``ctasync`` can genuinely deadlock under SR
+        compilation — lanes parked at a convergence barrier never arrive
+        at the CTA barrier and vice versa, the Section 4.3 conflicting-
+        barriers class extended to the CTA barrier (the CUDA
+        ``__syncthreads``-under-divergence rule). Conformance then means
+        the oracle deadlocks *identically* — same warp, same parked
+        lanes — instead of completing."""
+        compiled = compile_sr(compile_kernel_source(source))
+
+        def per_cta_flat(consume):
+            memory = GlobalMemory()
+            machine = GPUMachine(compiled.module, seed=2020)
+            for cta_id in range(3):
+                consume(machine.launch(
+                    "k", 32, memory=memory,
+                    cta=CTAContext(
+                        cta_id=cta_id, grid_dim=3, cta_dim=32,
+                        tid_base=32 * cta_id, warp_base=cta_id,
+                        shared_words=4,
+                    ),
+                ))
+            return memory
+
+        try:
+            grid = GridLaunch(
+                compiled.module, 3, 32, jobs=1, shared_words=4, seed=2020
+            ).launch("k")
+        except DeadlockError as grid_exc:
+            with pytest.raises(DeadlockError) as flat_exc:
+                per_cta_flat(lambda result: None)
+            assert flat_exc.value.warp_id == grid_exc.warp_id
+            assert flat_exc.value.waiting == grid_exc.waiting
+            return
+        traces, retired, cycles = {}, {}, []
+
+        def collect(result):
+            traces.update(result.store_traces())
+            retired.update(result.retired_per_thread())
+            cycles.append(result.cycles)
+
+        memory = per_cta_flat(collect)
+        assert grid.store_traces() == traces
+        assert grid.retired_per_thread() == retired
+        assert [r["cycles"] for r in grid.cta_records] == cycles
+        assert grid.memory.snapshot() == memory.snapshot()
+
+    @settings(max_examples=8, deadline=None)
+    @given(ctasync_kernel())
+    def test_sharded_grid_matches_serial(self, source):
+        """Pool-sharded CTA ranges must reproduce the serial loop
+        bit-for-bit whenever the disjointness proof lets them engage
+        (under ``REPRO_GRID=0`` both sides take the serial loop and the
+        parity is trivial — sharded engagement itself is pinned in
+        test_grid.py and the grid benchmark). When the kernel's CTA
+        barrier conflicts with SR barriers, the sharded path must surface
+        the same DeadlockError the serial loop raises."""
+        compiled = compile_sr(compile_kernel_source(source))
+        try:
+            serial = GridLaunch(
+                compiled.module, 4, 32, jobs=1, shared_words=4, seed=2020
+            ).launch("k")
+        except DeadlockError:
+            with pytest.raises(DeadlockError):
+                GridLaunch(
+                    compiled.module, 4, 32, jobs=2, shared_words=4,
+                    seed=2020,
+                ).launch("k")
+            return
+        sharded = GridLaunch(
+            compiled.module, 4, 32, jobs=2, shared_words=4, seed=2020
+        ).launch("k")
+        assert sharded.cta_records == serial.cta_records
+        assert sharded.memory.snapshot() == serial.memory.snapshot()
+        assert sharded.cycles == serial.cycles
+        assert sharded.issued == serial.issued
+
+    def test_crossed_barriers_deadlock_everywhere(self):
+        """Deadlock parity across the hierarchy: the flat launch, the
+        serial grid, and the sharded grid must all refuse the crossed
+        ctasync/warpsync kernel with a DeadlockError (never hang, never
+        complete)."""
+        compiled = compile_sr(compile_kernel_source(CROSSED_BARRIERS))
+        with pytest.raises(DeadlockError) as flat_exc:
+            GPUMachine(compiled.module).launch("k", 32)
+        assert any(
+            waiting_on == "__ctasync__"
+            for _, waiting_on in flat_exc.value.waiting
+        )
+        with pytest.raises(DeadlockError) as serial_exc:
+            GridLaunch(compiled.module, 4, 32, jobs=1).launch("k")
+        assert serial_exc.value.waiting == flat_exc.value.waiting
+        # The pool path re-raises the worker's error (attribute payloads
+        # do not survive pickling, the type and message do).
+        with pytest.raises(DeadlockError):
+            GridLaunch(compiled.module, 4, 32, jobs=2).launch("k")
 
 
 class TestRandomKernelConformance:

@@ -11,13 +11,8 @@ from repro.ir import (
     count_static_instructions,
     verify_module,
 )
-from repro.opt import (
-    PassManager,
-    dce_module,
-    fold_module,
-    optimize_module,
-    simplify_module,
-)
+from repro.core.passes import run_opt_fixpoint
+from repro.opt import dce_module, fold_module, simplify_module
 from repro.simt import GPUMachine
 from tests.helpers import listing1_module, loop_merge_source
 
@@ -144,7 +139,7 @@ class TestPipeline:
     def test_standard_pipeline_shrinks_workload(self):
         module = compile_kernel_source(loop_merge_source())
         before = _instr_count(module)
-        report = optimize_module(module)
+        report = run_opt_fixpoint(module)
         assert report.total_changes > 0
         assert _instr_count(module) < before
         assert "constfold" in report.describe()
@@ -159,11 +154,10 @@ class TestPipeline:
         assert a.memory.snapshot() == b.memory.snapshot()
         assert b.cycles <= a.cycles  # optimization never slows the sim
 
-    def test_pass_manager_fixpoint(self):
+    def test_fixpoint_converges(self):
         module = compile_kernel_source("kernel k() { store(0, 1.0); }")
-        manager = PassManager()
-        manager.run(module)
-        second = PassManager().run(module)
+        run_opt_fixpoint(module)
+        second = run_opt_fixpoint(module)
         assert second.total_changes == 0
 
 
@@ -190,7 +184,7 @@ class TestOptProperty:
     def test_optimization_preserves_semantics(self, source):
         module = compile_kernel_source(source)
         reference = GPUMachine(module.clone()).launch("k", 8).memory.snapshot()
-        optimize_module(module)
+        run_opt_fixpoint(module)
         assert verify_module(module)
         assert GPUMachine(module).launch("k", 8).memory.snapshot() == pytest.approx(
             reference
