@@ -526,3 +526,83 @@ def test_soa_corpus_sweep_speedup(benchmark):
         f"soa sweep speedup {speedup:.2f}x below the "
         f"{min_speedup:.1f}x floor"
     )
+
+
+def test_jit_corpus_sweep_speedup(benchmark):
+    """PR-level acceptance for the tiered segment JIT: the serial corpus
+    sweep must be >= 1.3x faster with hot segments compiled to
+    specialized Python than with them interpreted, with bit-identical
+    results.
+
+    Both sides run serial with fastpath, segment fusion, SoA, and all
+    caches warm; the slow side runs under ``jit_disabled()`` — the exact
+    pre-JIT engine — so the ratio isolates what compiled segment
+    execution adds: no per-op dispatch, no closure calls, constants
+    folded into the generated source. The tier-up threshold is forced to
+    0 so coverage is deterministic (the warm-up sweep pays all codegen;
+    the measured rounds run fully compiled, which is the steady state of
+    any sweep-shaped session). The floor is tunable via
+    ``REPRO_BENCH_MIN_JIT_SPEEDUP``; the measured value is written to
+    ``BENCH_jit_sweep.json`` with the jit.* counter delta.
+    """
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_JIT_SPEEDUP", "1.3"))
+
+    from repro.simt.jit import jit_disabled, set_jit, set_jit_threshold
+
+    was_enabled = set_jit(True)
+    was_threshold = set_jit_threshold(0)
+    try:
+        # Warm module/program/decode caches and tier every segment up;
+        # the counter delta over this sweep ships with the record so
+        # compare.py can see compiles, cache hits, and deopts.
+        counters_before = obs_counters.snapshot()
+        reference = _corpus_sweep()
+        sweep_counters = obs_counters.delta(
+            obs_counters.snapshot(), counters_before
+        )
+        jit_results = benchmark.pedantic(
+            _corpus_sweep, rounds=3, iterations=1
+        )
+        jit_time = benchmark.stats.stats.min
+
+        with jit_disabled():
+            interpreted_times = []
+            interpreted_results = None
+            for _ in range(3):
+                start = time.perf_counter()
+                interpreted_results = _corpus_sweep()
+                interpreted_times.append(time.perf_counter() - start)
+            interpreted_time = min(interpreted_times)
+    finally:
+        set_jit_threshold(was_threshold)
+        set_jit(was_enabled)
+
+    assert jit_results == reference
+    assert interpreted_results == reference
+
+    speedup = interpreted_time / jit_time
+    record = {
+        "benchmark": "jit_corpus_sweep",
+        "corpus": sorted(workload_names()),
+        "modes": ["baseline", "sr"],
+        "seed": _SEED,
+        "jobs": 1,
+        "jit_threshold": 0,
+        "fast_seconds": round(jit_time, 4),
+        "fast_seconds_mean": round(benchmark.stats.stats.mean, 4),
+        "slow_seconds": round(interpreted_time, 4),
+        "speedup": round(speedup, 3),
+        "min_speedup_required": min_speedup,
+        "bit_identical": True,
+        "counters": sweep_counters,
+    }
+    (_REPO_ROOT / "BENCH_jit_sweep.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    print(f"\njit sweep: compiled={jit_time:.2f}s "
+          f"interpreted={interpreted_time:.2f}s "
+          f"speedup={speedup:.2f}x (required {min_speedup:.1f}x)")
+    assert speedup >= min_speedup, (
+        f"jit sweep speedup {speedup:.2f}x below the "
+        f"{min_speedup:.1f}x floor"
+    )

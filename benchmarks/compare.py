@@ -116,13 +116,27 @@ def occupancy_delta_rows(baseline, fresh, only=None):
     return rows
 
 
+def _count(value):
+    """Integer view of a counter value; non-numeric entries (metadata
+    strings in hand-edited records, derived ratios saved as text) and
+    bools count as 0 so a snapshot written by a different engine version
+    still diffs instead of raising ``ValueError``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return 0
+    return int(value)
+
+
 def counter_delta_rows(baseline, fresh, only=None):
     """Per-layer engine-counter deltas for benchmarks present on both
     sides with a ``counters`` snapshot (written by bench_simulator since
     the telemetry PR). Rows are ``(benchmark, counter, base, fresh,
     delta)``; purely informational — counters attribute a timing
     regression to the layer whose behaviour moved (a decode-cache hit
-    rate collapse, a batching rollback storm), they never gate."""
+    rate collapse, a batching rollback storm), they never gate.
+
+    The key union means a counter layer present on only one side — e.g.
+    fresh ``jit.*`` rows against a pre-JIT baseline record — renders as a
+    plain delta from 0 rather than being dropped or raising."""
     rows = []
     for name in sorted(set(baseline) & set(fresh)):
         if only is not None and name not in only:
@@ -134,8 +148,8 @@ def counter_delta_rows(baseline, fresh, only=None):
         ):
             continue
         for counter in sorted(set(base_counters) | set(new_counters)):
-            base_value = int(base_counters.get(counter, 0))
-            new_value = int(new_counters.get(counter, 0))
+            base_value = _count(base_counters.get(counter, 0))
+            new_value = _count(new_counters.get(counter, 0))
             if base_value == 0 and new_value == 0:
                 continue
             rows.append(

@@ -44,6 +44,7 @@ __all__ = [
     "cache_disabled",
     "compile_cached",
     "compile_cache_enabled",
+    "freeze_options",
     "set_compile_cache",
 ]
 
@@ -92,6 +93,12 @@ def _freeze(value):
         return tuple(sorted(_freeze(v) for v in value))
     hash(value)
     return value
+
+
+#: Public name for the option-freezing helper: every engine cache keyed
+#: by a knob fingerprint (this one, the segment JIT's SegmentCodeCache)
+#: freezes its options through the same machinery.
+freeze_options = _freeze
 
 
 class ProgramCache:

@@ -69,6 +69,17 @@ COUNTERS = {
         "pure chunks executed as numpy SoA vector columns",
     "soa.fallback_chunks":
         "pure chunks run thread-major while SoA was enabled",
+    # --- jit: tiered segment codegen (repro.simt.jit) -----------------
+    "jit.compiled_segments":
+        "segment variants lowered to Python and compiled",
+    "jit.cache_hits":
+        "tier-ups served by the SegmentCodeCache (no codegen)",
+    "jit.tierups":
+        "hot segments promoted from interpreted steps to compiled code",
+    "jit.deopts":
+        "tier-ups vetoed by codegen (segment runs interpreted forever)",
+    "jit.executed_segments":
+        "fused segment executions dispatched to compiled code",
     # --- batch: lockstep multi-warp epochs (repro.simt.batch) ---------
     "batch.epochs":
         "lockstep epochs attempted across live warps",
@@ -115,13 +126,28 @@ COUNTERS = {
 
 #: Layer prefixes in display order (the per-layer tables follow this).
 LAYERS = (
-    "fastpath", "segments", "soa", "batch", "program_cache", "passmgr",
-    "pool", "launch", "grid",
+    "fastpath", "segments", "soa", "jit", "batch", "program_cache",
+    "passmgr", "pool", "launch", "grid",
 )
 
 
 def _attr(name):
     return name.replace(".", "_")
+
+
+def _numeric(value):
+    """Numeric view of a snapshot value; anything else counts as 0.
+
+    Snapshots fed to :func:`delta`/:func:`merge` are not always pristine
+    counter dicts — ``tools.stats --diff`` accepts BENCH records and
+    hand-built files whose entries can be strings, bools, or lists. A
+    layer absent from one side (a ``jit.*`` row diffed against a pre-JIT
+    snapshot) must render as a plain delta, and a metadata string must
+    never raise ``ValueError`` deep inside the diff.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return 0
+    return value
 
 
 class EngineCounters:
@@ -152,7 +178,7 @@ class EngineCounters:
         for name, value in snap.items():
             attr = _attr(name)
             if attr in self.__slots__:
-                setattr(self, attr, getattr(self, attr) + int(value))
+                setattr(self, attr, getattr(self, attr) + int(_numeric(value)))
 
 
 #: The process-global registry every engine layer increments.
@@ -170,10 +196,15 @@ def reset():
 
 
 def delta(after, before):
-    """``after - before`` per counter over the union of keys."""
+    """``after - before`` per counter over the union of keys.
+
+    Keys missing from either side count as 0 (a layer that did not exist
+    when the older snapshot was saved still diffs cleanly), and
+    non-numeric values are treated as 0 rather than raising.
+    """
     keys = set(after) | set(before)
     return {
-        name: int(after.get(name, 0)) - int(before.get(name, 0))
+        name: _numeric(after.get(name, 0)) - _numeric(before.get(name, 0))
         for name in sorted(keys)
     }
 
@@ -183,7 +214,7 @@ def merge(snapshots):
     total = {}
     for snap in snapshots:
         for name, value in snap.items():
-            total[name] = total.get(name, 0) + int(value)
+            total[name] = total.get(name, 0) + _numeric(value)
     return total
 
 

@@ -189,12 +189,18 @@ def _write_report(report, stem):
         pass
 
 
-def attach_post_mortem(error, recorder):
+def attach_post_mortem(error, recorder, extra=None):
     """Attach ``recorder``'s report to ``error`` as ``post_mortem``
-    (and dump it to ``$REPRO_POST_MORTEM`` when set)."""
+    (and dump it to ``$REPRO_POST_MORTEM`` when set).
+
+    ``extra`` merges additional top-level sections into the report —
+    the machine uses it to carry the generated source of the
+    last-executed JIT segment into the post-mortem."""
     if recorder is None:
         return None
     report = recorder.post_mortem(error)
+    if extra:
+        report.update(extra)
     try:
         error.post_mortem = report
     except AttributeError:  # pragma: no cover - exceptions accept attrs

@@ -31,6 +31,11 @@ from repro.errors import SimulationError
 ALL_MEMBERS = None
 
 
+#: Shared empty result for the no-release case — ``releasable`` runs on
+#: every issue slot's drain, so the common miss must not allocate.
+_EMPTY_LANES = frozenset()
+
+
 def _mask_lanes(mask):
     """The set of lane ids whose bits are set in ``mask``."""
     lanes = set()
@@ -44,13 +49,15 @@ def _mask_lanes(mask):
 class ConvergenceBarrier:
     """Membership and parked lane bitmasks for one named barrier."""
 
-    __slots__ = ("name", "members_mask", "parked_mask", "thresholds")
+    __slots__ = ("name", "members_mask", "parked_mask", "thresholds",
+                 "_soft_count")
 
     def __init__(self, name):
         self.name = name
         self.members_mask = 0     # lanes that joined and have not cleared
         self.parked_mask = 0      # subset of members currently waiting
         self.thresholds = {}      # lane -> threshold (None for hard waits)
+        self._soft_count = 0      # parked lanes carrying a soft threshold
 
     # Set views kept for observability and tests; the hot paths use the
     # masks directly.
@@ -69,7 +76,8 @@ class ConvergenceBarrier:
         keep = ~(1 << lane)
         self.members_mask &= keep
         self.parked_mask &= keep
-        self.thresholds.pop(lane, None)
+        if self.thresholds.pop(lane, ALL_MEMBERS) is not ALL_MEMBERS:
+            self._soft_count -= 1
 
     def park(self, lane, threshold=ALL_MEMBERS):
         if not (self.members_mask >> lane) & 1:
@@ -77,20 +85,29 @@ class ConvergenceBarrier:
             # hardware; the caller treats this as pass-through.
             return False
         self.parked_mask |= 1 << lane
+        if self.thresholds.get(lane, ALL_MEMBERS) is not ALL_MEMBERS:
+            self._soft_count -= 1
         self.thresholds[lane] = threshold
+        if threshold is not ALL_MEMBERS:
+            self._soft_count += 1
         return True
 
     def releasable(self):
         """The set of lanes to release now, or empty set."""
         parked = self.parked_mask
         if not parked:
-            return set()
+            return _EMPTY_LANES
         if parked == self.members_mask:
             return _mask_lanes(parked)
-        soft = [t for t in self.thresholds.values() if t is not ALL_MEMBERS]
-        if soft and parked.bit_count() >= min(soft):
-            return _mask_lanes(parked)
-        return set()
+        # Hard waits only (the overwhelmingly common case): an incomplete
+        # parked set cannot release, so skip the soft-threshold scan.
+        if self._soft_count:
+            soft = [
+                t for t in self.thresholds.values() if t is not ALL_MEMBERS
+            ]
+            if parked.bit_count() >= min(soft):
+                return _mask_lanes(parked)
+        return _EMPTY_LANES
 
     def release(self, lanes):
         """Clear ``lanes`` out of the barrier (they proceed past their wait)."""
@@ -102,7 +119,8 @@ class ConvergenceBarrier:
                 )
             self.members_mask &= ~bit
             self.parked_mask &= ~bit
-            self.thresholds.pop(lane, None)
+            if self.thresholds.pop(lane, ALL_MEMBERS) is not ALL_MEMBERS:
+                self._soft_count -= 1
 
     @property
     def arrived_count(self):
@@ -144,9 +162,10 @@ class BarrierFile:
         """(barrier, lanes) pairs whose release condition currently holds."""
         result = []
         for barrier in self._barriers.values():
-            lanes = barrier.releasable()
-            if lanes:
-                result.append((barrier, lanes))
+            if barrier.parked_mask:
+                lanes = barrier.releasable()
+                if lanes:
+                    result.append((barrier, lanes))
         return result
 
     def parked_anywhere(self):

@@ -95,7 +95,7 @@ class Executor:
 
     def __init__(self, module, memory, cost_model, profiler, sink=None,
                  metrics=None, fastpath=None, segments=None, soa=None,
-                 cta=None):
+                 jit=None, cta=None):
         self.module = module
         self.memory = memory
         self.cost_model = cost_model
@@ -152,6 +152,28 @@ class Executor:
         self.soa_lanes = (
             _soa.MIN_SOA_LANES if soa and _soa.soa_available() else None
         )
+        # Segment JIT (repro.simt.jit): ``jit=None`` defers to the global
+        # REPRO_JIT default. ``jit_threshold`` is the per-segment hotness
+        # gate, or None when the JIT is off for this launch (disabled, or
+        # no segment path to tier up from).
+        from repro.simt import jit as _jit
+
+        if jit is None:
+            jit = _jit.JIT_ENABLED
+        self.jit_threshold = (
+            _jit.JIT_THRESHOLD
+            if jit and self.segment_at is not None
+            else None
+        )
+        # The engine-knob fingerprint compiled segments are keyed under,
+        # computed once per launch (knob changes take effect for
+        # executors built afterwards, exactly like the threshold).
+        self.jit_fingerprint = (
+            _jit.knob_fingerprint() if self.jit_threshold is not None else None
+        )
+        # The launch's FlightRecorder; the machine attaches it so tier-up
+        # can record jit-compile events at the verbose level.
+        self.recorder = None
         # Program order for scheduler tie-breaking and fetches.
         self._block_pos = {
             fn.name: {block.name: pos for pos, block in enumerate(fn.blocks)}

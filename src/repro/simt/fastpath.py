@@ -568,7 +568,21 @@ def _decode_exit(instr, latency):
 
 
 def _decode_bssy(instr, latency, slots):
-    get_name = _barrier_getter(instr.operands[0], slots)
+    operand = instr.operands[0]
+    if isinstance(operand, Barrier):
+        # Literal barrier (the common compiler output): resolve the
+        # record once per issue instead of once per thread.
+        name = operand.name
+
+        def run(executor, warp, group):
+            barrier = warp.barriers.get(name)
+            for thread in group:
+                barrier.join(thread.lane)
+                thread.frames[-1].index += 1
+            return latency
+
+        return run
+    get_name = _barrier_getter(operand, slots)
 
     def run(executor, warp, group):
         barriers = warp.barriers
@@ -581,7 +595,21 @@ def _decode_bssy(instr, latency, slots):
 
 
 def _decode_bsync(instr, latency, slots):
-    get_name = _barrier_getter(instr.operands[0], slots)
+    operand = instr.operands[0]
+    if isinstance(operand, Barrier):
+        name = operand.name
+
+        def run(executor, warp, group):
+            barrier = warp.barriers.get(name)
+            for thread in group:
+                thread.frames[-1].index += 1  # resume past the wait
+                if barrier.park(thread.lane, ALL_MEMBERS):
+                    thread.park(name)
+                # Not a member: hardware pass-through.
+            return latency
+
+        return run
+    get_name = _barrier_getter(operand, slots)
 
     def run(executor, warp, group):
         barriers = warp.barriers
@@ -597,8 +625,25 @@ def _decode_bsync(instr, latency, slots):
 
 
 def _decode_bsyncsoft(instr, latency, slots):
-    get_name = _barrier_getter(instr.operands[0], slots)
+    operand = instr.operands[0]
     get_threshold = _getter(instr.operands[1], slots)
+    if isinstance(operand, Barrier):
+        name = operand.name
+
+        def run(executor, warp, group):
+            barrier = warp.barriers.get(name)
+            for thread in group:
+                threshold = int(get_threshold(thread))
+                thread.frames[-1].index += 1
+                if threshold <= 1:
+                    # Trivial threshold: never worth parking.
+                    continue
+                if barrier.park(thread.lane, threshold):
+                    thread.park(name)
+            return latency
+
+        return run
+    get_name = _barrier_getter(operand, slots)
 
     def run(executor, warp, group):
         barriers = warp.barriers
@@ -617,7 +662,19 @@ def _decode_bsyncsoft(instr, latency, slots):
 
 
 def _decode_bbreak(instr, latency, slots):
-    get_name = _barrier_getter(instr.operands[0], slots)
+    operand = instr.operands[0]
+    if isinstance(operand, Barrier):
+        name = operand.name
+
+        def run(executor, warp, group):
+            barrier = warp.barriers.get(name)
+            for thread in group:
+                barrier.withdraw(thread.lane)
+                thread.frames[-1].index += 1
+            return latency
+
+        return run
+    get_name = _barrier_getter(operand, slots)
 
     def run(executor, warp, group):
         barriers = warp.barriers
@@ -896,5 +953,12 @@ def decode_program(module, cost_model):
 
 
 def clear_decode_cache():
-    """Drop every cached decode (tests and long-lived servers)."""
+    """Drop every cached decode (tests and long-lived servers).
+
+    Compiled JIT code is keyed (weakly) by the segments the decode cache
+    owns, so it is dropped in the same breath — a fresh decode must
+    never resurrect stale generated code."""
     _DECODE_CACHE.clear()
+    from repro.simt.jit import clear_code_cache
+
+    clear_code_cache()

@@ -47,6 +47,9 @@ def _fold_launch_counters(counters):
     ENGINE_COUNTERS.batch_rollbacks += counters["batch.rollbacks"]
     ENGINE_COUNTERS.soa_vector_chunks += counters["soa.vector_chunks"]
     ENGINE_COUNTERS.soa_fallback_chunks += counters["soa.fallback_chunks"]
+    ENGINE_COUNTERS.jit_executed_segments += counters["jit.executed_segments"]
+    ENGINE_COUNTERS.jit_tierups += counters["jit.tierups"]
+    ENGINE_COUNTERS.jit_deopts += counters["jit.deopts"]
 
 
 @dataclass
@@ -104,6 +107,7 @@ class GPUMachine:
         segments=None,
         warp_batch=None,
         soa=None,
+        jit=None,
         flight_recorder=None,
     ):
         self.module = module
@@ -119,6 +123,8 @@ class GPUMachine:
         self.warp_batch = warp_batch
         # None defers to the global repro.simt.soa default (REPRO_SOA).
         self.soa = soa
+        # None defers to the global repro.simt.jit default (REPRO_JIT).
+        self.jit = jit
         # Observability, all off by default (the fast path stays
         # allocation-free): ``trace`` records cycle-stamped IssueEvents for
         # timeline rendering, ``sink`` streams every event kind to a
@@ -162,7 +168,7 @@ class GPUMachine:
         executor = Executor(
             self.module, memory, self.cost_model, profiler,
             sink=sink, metrics=metrics, fastpath=self.fastpath,
-            segments=self.segments, soa=self.soa, cta=cta,
+            segments=self.segments, soa=self.soa, jit=self.jit, cta=cta,
         )
         scheduler = make_scheduler(self.scheduler_name)
 
@@ -188,6 +194,7 @@ class GPUMachine:
 
         recorder = make_recorder(kernel_name, n_threads, self.flight_recorder)
         self._recorder = recorder
+        executor.recorder = recorder
         if recorder is not None:
             recorder.record(
                 "launch", {"kernel": kernel_name, "n_threads": n_threads,
@@ -279,7 +286,12 @@ class GPUMachine:
                 "error",
                 {"type": type(exc).__name__, "issued": profiler.issued},
             )
-        attach_post_mortem(exc, recorder)
+        from repro.simt.jit import jit_post_mortem
+
+        # The generated source of the last-executed JIT segment rides on
+        # the report, but only when this launch actually ran JIT code.
+        extra = jit_post_mortem() if profiler.jit_segments else None
+        attach_post_mortem(exc, recorder, extra=extra)
         if sink is not None:
             try:
                 sink.close()

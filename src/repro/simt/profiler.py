@@ -55,6 +55,13 @@ class Profiler:
         #: from summary() like the other layer counters.
         self.soa_chunks = 0
         self.soa_fallback_chunks = 0
+        #: segment-JIT diagnostics (repro.simt.jit): fused segments
+        #: executed through compiled code, tier-up attempts, and codegen
+        #: deopts during this launch. Engine-only, excluded from
+        #: summary() like the other layer counters.
+        self.jit_segments = 0
+        self.jit_tierups = 0
+        self.jit_deopts = 0
         #: when tracing, every issue as a cycle-stamped IssueEvent (which
         #: unpacks as the legacy ``(warp_id, function, block, lanes)`` tuple)
         self.trace = [] if trace else None
@@ -179,6 +186,9 @@ class Profiler:
             "batch.rollbacks": self.batch_rollbacks,
             "soa.vector_chunks": self.soa_chunks,
             "soa.fallback_chunks": self.soa_fallback_chunks,
+            "jit.executed_segments": self.jit_segments,
+            "jit.tierups": self.jit_tierups,
+            "jit.deopts": self.jit_deopts,
         }
 
     def summary(self):

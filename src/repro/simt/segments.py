@@ -37,6 +37,7 @@ import os
 from contextlib import contextmanager
 
 from repro.ir.instructions import Imm, Opcode, Reg
+from repro.simt import jit as _jit
 from repro.simt import soa as _soa
 from repro.simt.executor import _BINARY_EVAL, _UNARY_EVAL, _UNIFORM_OPS
 
@@ -311,7 +312,8 @@ class Segment:
 
     __slots__ = ("fname", "bname", "start", "n", "steps", "soa_steps",
                  "n_chunks", "n_soa_chunks", "end_pc", "opcode_counts",
-                 "touches_memory")
+                 "touches_memory", "jit_ir", "jit_hits", "jit_fns",
+                 "__weakref__")
 
     def __init__(self, fname, bname, start, entries, slots, kinds=None):
         self.fname = fname
@@ -325,6 +327,7 @@ class Segment:
 
         steps = []
         soa_steps = []  # same shape, vector chunks substituted where compiled
+        jit_records = []  # per-step lowering IR for the segment JIT
         n_chunks = 0
         n_soa_chunks = 0
         micro = []
@@ -340,6 +343,7 @@ class Segment:
             vector = _soa.compile_chunk(items, slots, kinds, index)
             soa_steps.append((True, vector if vector is not None else chunk,
                               static))
+            jit_records.append((True, tuple(e for e, _op in items), index))
             n_chunks += 1
             if vector is not None:
                 n_soa_chunks += 1
@@ -365,10 +369,17 @@ class Segment:
                 step = (False, entry.run, 0)
                 steps.append(step)
                 soa_steps.append(step)
+                jit_records.append((False, entry.run))
                 index += 1
         if pending:
             flush_chunk()
         self.steps = tuple(steps)
+        # Lowering IR for the segment JIT (repro.simt.jit): the decoded
+        # entries of each pure chunk plus each handler step, aligned
+        # one-to-one with ``steps``, and the function's slot map.
+        self.jit_ir = (tuple(jit_records), slots)
+        self.jit_hits = 0
+        self.jit_fns = {}  # variant -> (knob fingerprint, fn or False)
         # None when no chunk compiled a vector variant: execute() then
         # skips the SoA dispatch entirely for this segment.
         self.soa_steps = tuple(soa_steps) if n_soa_chunks else None
@@ -392,16 +403,47 @@ class Segment:
         # variants were substituted into ``soa_steps`` at build time, so
         # the execution loop below stays identical either way.
         steps = self.steps
+        variant = 0
         lanes = executor.soa_lanes
         if lanes is not None:
             if self.soa_steps is not None and len(group) >= lanes:
                 steps = self.soa_steps
+                variant = 1
                 executor.profiler.soa_chunks += self.n_soa_chunks
                 executor.profiler.soa_fallback_chunks += (
                     self.n_chunks - self.n_soa_chunks
                 )
             else:
                 executor.profiler.soa_fallback_chunks += self.n_chunks
+        # Tiered JIT dispatch (repro.simt.jit): below the hotness
+        # threshold (or after a deopt) the interpreted step loop runs;
+        # past it, the generated function replaces the whole loop. The
+        # knob fingerprint is computed once at launch setup (like the
+        # threshold) and checked against the segment's memo here, so
+        # compiled code can never outlive the engine configuration it
+        # was built for while the steady state pays one tuple compare.
+        threshold = executor.jit_threshold
+        if threshold is not None:
+            cached = self.jit_fns.get(variant)
+            fingerprint = executor.jit_fingerprint
+            if cached is not None and cached[0] == fingerprint:
+                fn = cached[1]
+            else:
+                fn = None
+                if cached is not None:
+                    # Knobs changed under previously-compiled code: the
+                    # segment is already proven hot, re-tier immediately.
+                    fn = _jit.tier_up(self, variant, fingerprint, executor)
+                else:
+                    self.jit_hits += 1
+                    if self.jit_hits > threshold:
+                        fn = _jit.tier_up(
+                            self, variant, fingerprint, executor
+                        )
+            if fn:
+                executor.profiler.jit_segments += 1
+                _jit.LAST_EXECUTED = fn
+                return fn(executor, warp, group)
         total = 0
         for is_chunk, payload, cycles in steps:
             if is_chunk:

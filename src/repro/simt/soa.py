@@ -973,4 +973,11 @@ def compile_chunk(items, slots, kinds, end_index):
         for step in steps:
             step(cols, group)
 
+    # The static cost-model inputs, exposed for the segment JIT: this
+    # model priced the vector strategy against *interpreted* thread-major
+    # micro-ops (_COST_TM). Compiled straight-line code is cheaper per
+    # op, so the JIT re-runs the break-even with its own per-op cost
+    # before electing to call this closure (repro.simt.jit).
+    chunk.covered = covered
+    chunk.vector_cost = cost
     return chunk

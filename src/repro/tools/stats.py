@@ -18,6 +18,10 @@ snapshots, "which layer moved")::
     # the 10^5-thread grid corpus: per-SM occupancy + grid.* counters
     python -m repro.tools.stats --grid --jobs 4
 
+    # the tiered segment JIT: force tier-up over the corpus and report
+    # jit.* counters plus per-segment code-cache telemetry
+    python -m repro.tools.stats --jit --json jit-counters.json
+
     # which layer moved between two saved snapshots? (BENCH_*.json grid
     # records also diff their per-app sm_occupancy)
     python -m repro.tools.stats --diff before.json after.json
@@ -87,6 +91,17 @@ def build_parser():
              "per-SM occupancy plus the grid.* counter layer",
     )
     parser.add_argument(
+        "--jit", action="store_true",
+        help="run the corpus in sr mode with JIT tier-up forced "
+             "(threshold 0) and report the jit.* counter layer plus the "
+             "compiled-segment telemetry from the tiered code cache",
+    )
+    parser.add_argument(
+        "--jit-source", action="store_true",
+        help="with --jit, also print the generated source of the hottest "
+             "compiled segment",
+    )
+    parser.add_argument(
         "--sm-schedule", action="store_true",
         help="with --grid, also print the full per-SM schedule table "
              "for each app (one row per simulated SM)",
@@ -143,7 +158,18 @@ def _snapshot_counters(data):
     # Accept bare snapshots, tools.stats files, and BENCH_*.json records.
     if isinstance(data.get("counters"), dict):
         return data["counters"]
-    return data
+    # No counters block (a pre-telemetry BENCH record, a hand-built
+    # file): keep only entries that look like namespaced counters so
+    # metadata strings ("benchmark", "seed") never reach the delta and a
+    # snapshot with newer layers diffs cleanly against this one.
+    return {
+        name: value
+        for name, value in data.items()
+        if isinstance(name, str)
+        and "." in name
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
 
 
 def _run_diff(path_a, path_b):
@@ -257,6 +283,73 @@ def _run_grid(args):
     return 0
 
 
+def _run_jit(args):
+    """JIT-corpus sweep: every workload in sr mode with tier-up forced
+    (threshold 0). Reports per-workload ``jit.*`` launch counters, the
+    tiered code cache's per-segment telemetry (hotness, variant, deopt
+    status), and the process counter delta."""
+    from repro.simt import jit as jit_mod
+
+    names = args.workloads or workload_names()
+    unknown = sorted(set(names) - set(workload_names()))
+    if unknown:
+        raise SystemExit(f"error: unknown workloads {unknown}")
+    before = obs_counters.snapshot()
+    rows = []
+    was_enabled = jit_mod.set_jit(True)
+    was_threshold = jit_mod.set_jit_threshold(0)
+    try:
+        for name in names:
+            result = get_workload(name).run(mode="sr", seed=args.seed)
+            counters = result.launch.counters
+            rows.append((
+                name,
+                result.cycles,
+                counters.get("jit.executed_segments", 0),
+                counters.get("jit.tierups", 0),
+                counters.get("jit.deopts", 0),
+            ))
+    finally:
+        jit_mod.set_jit(was_enabled)
+        jit_mod.set_jit_threshold(was_threshold)
+    moved = obs_counters.delta(obs_counters.snapshot(), before)
+
+    print(format_table(
+        ["workload", "cycles", "jit segments", "tierups", "deopts"], rows,
+        title=f"JIT corpus sweep ({len(rows)} workloads, threshold 0)",
+    ))
+    segments = jit_mod.compiled_segments()
+    if segments:
+        print()
+        print(format_table(
+            ["segment", "variant", "slots", "hits", "status"],
+            [
+                (r["segment"], r["variant"], r["slots"], r["hits"],
+                 "deopt" if r["deopt"] else "compiled")
+                for r in segments
+            ],
+            title="Code cache (hottest first)",
+        ))
+    if args.jit_source:
+        hottest = next((r for r in segments if r["source"]), None)
+        if hottest is not None:
+            print()
+            print(f"generated source ({hottest['segment']}):")
+            print(hottest["source"])
+    print()
+    print(counters_table(moved, title="Process counter delta (JIT sweep)"))
+    if args.json:
+        _save_snapshot(args.json, moved, {
+            "jit": names, "threshold": 0, "seed": args.seed,
+            "code_cache": jit_mod.CODE_CACHE.stats(),
+            "compiled_segments": [
+                {k: v for k, v in record.items() if k != "source"}
+                for record in segments
+            ],
+        })
+    return 0
+
+
 def _sweep_point(name, mode, seed):
     """Module-level sweep task (workers import it by reference)."""
     result = get_workload(name).run(mode=mode, seed=seed)
@@ -338,11 +431,13 @@ def main(argv=None):
         return _run_diff(*args.diff)
     if args.grid:
         return _run_grid(args)
+    if args.jit:
+        return _run_jit(args)
     if args.sweep:
         return _run_sweep(args)
     if args.workload is None:
         build_parser().error(
-            "give a WORKLOAD, --sweep, --grid, or --diff A B"
+            "give a WORKLOAD, --sweep, --grid, --jit, or --diff A B"
         )
     return _run_single(args)
 

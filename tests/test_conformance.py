@@ -13,6 +13,10 @@ profiler counters across:
 * numpy SoA vector chunks vs thread-major chunk execution (``soa`` on
   vs off, with the width/gain gate forced so the vector path really
   runs — single-warp, batched multi-warp, and fuzzed),
+* the tiered segment JIT vs interpreted segment steps (``jit`` on vs
+  off with the tier-up threshold forced to 0 so every segment runs
+  compiled — single-warp, batched multi-warp, SoA-composed, and
+  fuzzed),
 
 over a scaled-down Table 2 corpus and the hypothesis ``random_kernel``
 fuzzer. The interpreted (fastpath-off) executor is the reference
@@ -45,6 +49,7 @@ from repro.simt import (
     StackGPUMachine,
     soa_available,
 )
+from repro.simt import jit as jit_module
 from repro.simt import soa as soa_module
 from repro.simt.reference import run_reference_thread
 from repro.workloads import get_workload
@@ -130,6 +135,23 @@ def _forced_soa_gate():
     finally:
         soa_module.set_soa_lanes(prev_lanes)
         soa_module.set_soa_min_gain(prev_gain)
+
+
+@contextmanager
+def _forced_jit():
+    """Force segment tier-up on first execution (JIT on, threshold 0).
+
+    The threshold is read at launch setup and the per-segment hit
+    counters live on the (weakly cached) segments, so wrapping the
+    launches is enough — no decode-cache reset needed.
+    """
+    prev_enabled = jit_module.set_jit(True)
+    prev_threshold = jit_module.set_jit_threshold(0)
+    try:
+        yield
+    finally:
+        jit_module.set_jit(prev_enabled)
+        jit_module.set_jit_threshold(prev_threshold)
 
 
 @pytest.mark.parametrize("name", sorted(CORPUS))
@@ -403,6 +425,107 @@ class TestSoAConformance:
                 soa=False,
             )
             assert _fingerprint(unfused_soa) == _fingerprint(reference), name
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+class TestJITConformance:
+    """Compiled segment execution vs interpreted steps, per mode ×
+    scheduler.
+
+    ``jit=False`` is the exact pre-JIT engine and the reference; with
+    the tier-up threshold forced to 0 every fused segment must dispatch
+    through compiled code from its first execution and stay bit-identical
+    — and must actually engage on every corpus point (pinned, or the
+    axis silently tests nothing). Composition with batched multi-warp
+    lockstep epochs and the forced-open SoA gate get their own legs.
+    """
+
+    N_THREADS = 96
+
+    def test_jit_bit_identical_and_engaged(self, name):
+        workload = get_workload(name, **CORPUS[name])
+        with _forced_jit():
+            for mode in MODES:
+                compiled = _compiled(workload, mode)
+                for scheduler in sorted(SCHEDULERS):
+                    interpreted = _launch(
+                        workload, compiled, GPUMachine, True, scheduler,
+                        jit=False,
+                    )
+                    jitted = _launch(
+                        workload, compiled, GPUMachine, True, scheduler,
+                        jit=True,
+                    )
+                    assert _fingerprint(jitted) == _fingerprint(
+                        interpreted
+                    ), (name, mode, scheduler)
+                    assert interpreted.profiler.jit_segments == 0
+                    assert jitted.profiler.jit_segments > 0, (
+                        name, mode, scheduler,
+                    )
+                    assert jitted.profiler.jit_deopts == 0, (
+                        name, mode, scheduler,
+                    )
+
+    def test_jit_batched_multiwarp_bit_identical(self, name):
+        """The batcher calls ``Segment.execute`` inside lockstep epochs
+        (including under the optimistic write-set guard), so tier
+        dispatch must compose with multi-warp batching bit-for-bit."""
+        workload = get_workload(name, **CORPUS[name])
+        with _forced_jit():
+            for mode in MODES:
+                compiled = _compiled(workload, mode)
+                serial = _launch(
+                    workload, compiled, GPUMachine, True,
+                    n_threads=self.N_THREADS, warp_batch=False, jit=False,
+                )
+                jit_batched = _launch(
+                    workload, compiled, GPUMachine, True,
+                    n_threads=self.N_THREADS, warp_batch=True, jit=True,
+                )
+                assert _fingerprint(jit_batched) == _fingerprint(serial), (
+                    name, mode,
+                )
+                assert jit_batched.profiler.jit_segments > 0, (name, mode)
+
+    def test_jit_composes_with_soa_vector_chunks(self, name):
+        """The SoA variant's compiled form calls the segment's own vector
+        closures at the interpreter's exact positions; with both gates
+        forced the full stack must match the plain engine."""
+        if not soa_available():
+            pytest.skip("numpy not installed")
+        workload = get_workload(name, **CORPUS[name])
+        with _forced_soa_gate(), _forced_jit():
+            compiled = _compiled(workload, "sr")
+            reference = _launch(
+                workload, compiled, GPUMachine, True,
+                n_threads=self.N_THREADS, soa=False, jit=False,
+            )
+            jit_vector = _launch(
+                workload, compiled, GPUMachine, True,
+                n_threads=self.N_THREADS, soa=True, jit=True,
+            )
+            assert _fingerprint(jit_vector) == _fingerprint(reference), name
+            assert jit_vector.profiler.jit_segments > 0, name
+            assert jit_vector.profiler.soa_chunks > 0, name
+
+    def test_jit_inert_without_segments(self, name):
+        """Compiled code only exists for fused segments; with fusion off
+        the JIT knob must change nothing at all."""
+        workload = get_workload(name, **CORPUS[name])
+        with _forced_jit():
+            compiled = _compiled(workload, "sr")
+            unfused_jit = _launch(
+                workload, compiled, GPUMachine, True, segments=False,
+                jit=True,
+            )
+            assert unfused_jit.profiler.jit_segments == 0
+            assert unfused_jit.profiler.jit_tierups == 0
+            reference = _launch(
+                workload, compiled, GPUMachine, True, segments=False,
+                jit=False,
+            )
+            assert _fingerprint(unfused_jit) == _fingerprint(reference), name
 
 
 def _grid_launch(workload, compiled, grid_dim, cta_dim, scheduler=None,
@@ -767,6 +890,52 @@ class TestRandomKernelConformance:
                 compiled.module, warp_batch=True, soa=True
             ).launch("k", 96)
         assert _fingerprint(vector_batched) == _fingerprint(serial)
+
+    @settings(max_examples=12, deadline=None)
+    @given(random_kernel())
+    def test_jit_matches_interpreted_segments(self, program):
+        """Random kernels with tier-up forced: every compiled segment —
+        whatever shapes the generator reaches (soft thresholds, calls,
+        UNDEF operands, folded constants) — must match the interpreted
+        segment engine bit-for-bit."""
+        module = lower_program(program)
+        with _forced_jit():
+            compiled = compile_sr(module)
+            interpreted = GPUMachine(compiled.module, jit=False).launch(
+                "k", 32
+            )
+            jitted = GPUMachine(compiled.module, jit=True).launch("k", 32)
+        assert _fingerprint(jitted) == _fingerprint(interpreted)
+
+    @settings(max_examples=8, deadline=None)
+    @given(random_kernel(allow_atomics=True))
+    def test_jit_multiwarp_atomics_matches_serial(self, program):
+        """JIT × warp batching × shared-cell atomics at 96 threads. The
+        reference is the plain serial engine (no batching, no JIT); the
+        full stack must reproduce it bit-for-bit — and when the random
+        ticket-dependent barrier membership genuinely deadlocks, deadlock
+        *identically* (same warp, same parked lanes)."""
+        module = lower_program(program)
+        with _forced_jit():
+            compiled = compile_sr(module)
+            try:
+                serial = GPUMachine(
+                    compiled.module, warp_batch=False, jit=False
+                ).launch("k", 96)
+            except DeadlockError as serial_exc:
+                with pytest.raises(DeadlockError) as jit_exc:
+                    GPUMachine(
+                        compiled.module, warp_batch=True, jit=True
+                    ).launch("k", 96)
+                assert jit_exc.value.warp_id == serial_exc.warp_id
+                assert sorted(jit_exc.value.waiting) == sorted(
+                    serial_exc.waiting
+                )
+                return
+            jit_batched = GPUMachine(
+                compiled.module, warp_batch=True, jit=True
+            ).launch("k", 96)
+        assert _fingerprint(jit_batched) == _fingerprint(serial)
 
     @settings(max_examples=15, deadline=None)
     @given(random_kernel())

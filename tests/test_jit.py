@@ -1,0 +1,319 @@
+"""Unit net for the tiered segment JIT (:mod:`repro.simt.jit`).
+
+The conformance matrix (test_conformance.py) pins bit-identity over the
+corpus; this file pins the *mechanism*: tier-up threshold semantics, the
+two-level code cache and its knob-fingerprint invalidation, deopt on
+codegen veto, the escape hatches, the generated-source shape, and the
+post-mortem integration.
+"""
+
+import pytest
+
+from repro.core import compile_sr
+from repro.errors import LaunchError
+from repro.frontend import compile_kernel_source
+from repro.ir.instructions import Opcode
+from repro.obs import counters as obs_counters
+from repro.simt import GPUMachine, GlobalMemory
+from repro.simt import jit as jit_module
+from repro.simt import soa as soa_module
+from repro.simt.fastpath import clear_decode_cache
+
+#: Straight-line kernel: one fused segment per launch per warp, so the
+#: per-segment hit counter advances exactly once per launch (threshold
+#: boundary tests count on this).
+STRAIGHT = """
+kernel k() {
+    let t = tid();
+    let x = t * 2.0;
+    let y = x + 1.5;
+    store(t, y);
+}
+"""
+
+#: Same shape but with a runtime sqrt (never constant-folded), so
+#: removing the SQRT lowering template forces a codegen veto.
+WITH_SQRT = """
+kernel k() {
+    let t = tid();
+    let s = sqrt(t + 2.0);
+    store(t, s);
+}
+"""
+
+RUNAWAY = """
+kernel k() {
+    let i = 0;
+    while (i < 1000000) {
+        i = i + 1;
+    }
+    store(tid(), i);
+}
+"""
+
+
+@pytest.fixture
+def forced_jit():
+    """JIT on with tier-up forced (threshold 0) and fresh segments, so
+    every test starts from cold per-segment hit counters and an empty
+    code cache; everything is restored afterwards."""
+    prev_enabled = jit_module.set_jit(True)
+    prev_threshold = jit_module.set_jit_threshold(0)
+    clear_decode_cache()
+    try:
+        yield
+    finally:
+        jit_module.set_jit(prev_enabled)
+        jit_module.set_jit_threshold(prev_threshold)
+        clear_decode_cache()
+
+
+def _compiled(source):
+    return compile_sr(compile_kernel_source(source))
+
+
+def _run(compiled, jit=None, seed=2020, **machine_kwargs):
+    memory = GlobalMemory()
+    machine = GPUMachine(
+        compiled.module, seed=seed, jit=jit, **machine_kwargs
+    )
+    launch = machine.launch("k", 32, memory=memory)
+    return launch, memory
+
+
+class TestThreshold:
+    def test_threshold_boundary(self, forced_jit):
+        """Threshold N means exactly N interpreted executions; the N+1st
+        tiers up. The hit counter lives on the (cached) segment, so the
+        boundary spans launches."""
+        jit_module.set_jit_threshold(3)
+        compiled = _compiled(STRAIGHT)
+        reference, ref_memory = _run(compiled, jit=False)
+        for execution in (1, 2, 3):
+            launch, memory = _run(compiled, jit=True)
+            assert launch.profiler.jit_segments == 0, execution
+            assert launch.profiler.jit_tierups == 0, execution
+            assert memory.snapshot() == ref_memory.snapshot()
+        hot, memory = _run(compiled, jit=True)
+        assert hot.profiler.jit_tierups == 1
+        assert hot.profiler.jit_segments == 1
+        assert hot.profiler.jit_deopts == 0
+        assert memory.snapshot() == ref_memory.snapshot()
+        assert hot.store_traces() == reference.store_traces()
+
+    def test_threshold_zero_compiles_on_first_execution(self, forced_jit):
+        compiled = _compiled(STRAIGHT)
+        launch, _ = _run(compiled, jit=True)
+        assert launch.profiler.jit_segments > 0
+        assert launch.counters["jit.executed_segments"] > 0
+
+    def test_set_jit_threshold_returns_previous(self, forced_jit):
+        assert jit_module.set_jit_threshold(7) == 0
+        assert jit_module.jit_threshold() == 7
+        assert jit_module.set_jit_threshold(0) == 7
+
+
+class TestCodeCache:
+    def test_knob_change_invalidates_and_revert_hits(self, forced_jit):
+        """The cache key is segment x variant x knob fingerprint: a knob
+        flip recompiles, flipping it back is a code-cache hit — and every
+        configuration stays bit-identical."""
+        compiled = _compiled(STRAIGHT)
+        reference, ref_memory = _run(compiled, jit=False)
+
+        before = obs_counters.snapshot()
+        _, memory_a = _run(compiled, jit=True)
+        moved = obs_counters.delta(obs_counters.snapshot(), before)
+        assert moved["jit.compiled_segments"] == 1
+        assert moved["jit.cache_hits"] == 0
+        assert memory_a.snapshot() == ref_memory.snapshot()
+
+        # Steady state: the compiled fn is memoized on the segment, so
+        # re-running neither recompiles nor re-queries the cache.
+        before = obs_counters.snapshot()
+        _run(compiled, jit=True)
+        moved = obs_counters.delta(obs_counters.snapshot(), before)
+        assert moved["jit.compiled_segments"] == 0
+        assert moved["jit.tierups"] == 0
+
+        prev_gain = soa_module.set_soa_min_gain(12345)
+        try:
+            before = obs_counters.snapshot()
+            _, memory_b = _run(compiled, jit=True)
+            moved = obs_counters.delta(obs_counters.snapshot(), before)
+            assert moved["jit.tierups"] == 1
+            assert moved["jit.compiled_segments"] == 1
+            assert moved["jit.cache_hits"] == 0
+            assert memory_b.snapshot() == ref_memory.snapshot()
+        finally:
+            soa_module.set_soa_min_gain(prev_gain)
+
+        # Reverting the knob must hit the cache, not recompile.
+        before = obs_counters.snapshot()
+        _, memory_c = _run(compiled, jit=True)
+        moved = obs_counters.delta(obs_counters.snapshot(), before)
+        assert moved["jit.tierups"] == 1
+        assert moved["jit.cache_hits"] == 1
+        assert moved["jit.compiled_segments"] == 0
+        assert memory_c.snapshot() == ref_memory.snapshot()
+
+    def test_fingerprint_tracks_knobs(self):
+        base = jit_module.knob_fingerprint()
+        prev = soa_module.set_soa_min_gain(98765)
+        try:
+            assert jit_module.knob_fingerprint() != base
+        finally:
+            soa_module.set_soa_min_gain(prev)
+        assert jit_module.knob_fingerprint() == base
+
+    def test_clear_decode_cache_clears_code_cache(self, forced_jit):
+        compiled = _compiled(STRAIGHT)
+        _run(compiled, jit=True)
+        assert jit_module.CODE_CACHE.stats()["segments"] > 0
+        clear_decode_cache()
+        assert jit_module.CODE_CACHE.stats() == {
+            "segments": 0, "hits": 0, "misses": 0,
+        }
+
+
+class TestDeopt:
+    def test_codegen_veto_deopts_and_stays_correct(
+        self, forced_jit, monkeypatch
+    ):
+        """A segment codegen cannot lower runs interpreted forever —
+        counted, cached as a deopt, and bit-identical."""
+        compiled = _compiled(WITH_SQRT)
+        reference, ref_memory = _run(compiled, jit=False)
+        monkeypatch.delitem(jit_module._UNARY_EXPR, Opcode.SQRT)
+        launch, memory = _run(compiled, jit=True)
+        assert launch.profiler.jit_deopts > 0
+        assert launch.profiler.jit_segments == 0
+        assert memory.snapshot() == ref_memory.snapshot()
+        assert launch.store_traces() == reference.store_traces()
+        records = jit_module.compiled_segments()
+        deopted = [r for r in records if r["deopt"]]
+        assert deopted
+        assert all(r["source"] is None for r in deopted)
+        # The veto is cached: re-running neither retries codegen nor
+        # recompiles, and results stay correct.
+        before = obs_counters.snapshot()
+        launch2, memory2 = _run(compiled, jit=True)
+        moved = obs_counters.delta(obs_counters.snapshot(), before)
+        assert moved["jit.compiled_segments"] == 0
+        assert launch2.profiler.jit_tierups == 0
+        assert memory2.snapshot() == ref_memory.snapshot()
+
+
+class TestEscapeHatches:
+    def test_machine_knob_overrides_global(self, forced_jit):
+        compiled = _compiled(STRAIGHT)
+        off, _ = _run(compiled, jit=False)
+        assert off.profiler.jit_segments == 0
+        assert off.profiler.jit_tierups == 0
+        on, _ = _run(compiled, jit=True)
+        assert on.profiler.jit_segments > 0
+
+    def test_jit_disabled_context(self, forced_jit):
+        compiled = _compiled(STRAIGHT)
+        with jit_module.jit_disabled():
+            assert not jit_module.jit_enabled()
+            launch, _ = _run(compiled)  # machine defers to the global
+            assert launch.profiler.jit_segments == 0
+        assert jit_module.jit_enabled()
+
+    def test_set_jit_returns_previous(self):
+        previous = jit_module.set_jit(False)
+        try:
+            assert jit_module.jit_enabled() is False
+        finally:
+            jit_module.set_jit(previous)
+
+    def test_machine_on_while_global_off(self, forced_jit):
+        compiled = _compiled(STRAIGHT)
+        with jit_module.jit_disabled():
+            launch, _ = _run(compiled, jit=True)
+        assert launch.profiler.jit_segments > 0
+
+    def test_inert_without_segments(self, forced_jit):
+        """No fused segments (segments=False) means nothing to tier up:
+        the JIT knob must change nothing at all."""
+        compiled = _compiled(STRAIGHT)
+        launch, memory = _run(compiled, jit=True, segments=False)
+        assert launch.profiler.jit_segments == 0
+        assert launch.profiler.jit_tierups == 0
+        reference, ref_memory = _run(compiled, jit=False, segments=False)
+        assert memory.snapshot() == ref_memory.snapshot()
+        assert launch.store_traces() == reference.store_traces()
+
+
+class TestGeneratedSource:
+    def test_generated_source_golden(self, forced_jit):
+        """The exact lowering of a known segment: slot reads/writes on
+        ``_r``, constants folded (the ``2.0``/``1.5`` CONST slots are
+        written once at chunk end), one handler call for the store+branch
+        tail, static cycles precomputed. A diff here means the codegen
+        shape changed — bump ``_CODEGEN_VERSION`` with it."""
+        compiled = _compiled(STRAIGHT)
+        _run(compiled, jit=True)
+        records = [
+            r for r in jit_module.compiled_segments()
+            if r["segment"] == "@k/entry:0" and r["variant"] == "tm"
+        ]
+        assert len(records) == 1
+        assert records[0]["source"] == (
+            "# jit: segment @k/entry:0 n=9 variant=tm\n"
+            "def _jit_segment(executor, warp, group):\n"
+            "    _total = 8\n"
+            "    for _t in group:\n"
+            "        _f = _t.frames[-1]\n"
+            "        _r = _f.regs\n"
+            "        _s0 = _t.tid\n"
+            "        _r[0] = _s0\n"
+            "        _s1 = _s0\n"
+            "        _r[1] = _s1\n"
+            "        _s3 = (_s1 * 2.0)\n"
+            "        _r[3] = _s3\n"
+            "        _s4 = _s3\n"
+            "        _r[4] = _s4\n"
+            "        _s6 = (_s4 + 1.5)\n"
+            "        _r[6] = _s6\n"
+            "        _r[7] = _s6\n"
+            "        _r[2] = 2.0\n"
+            "        _r[5] = 1.5\n"
+            "        _f.index = 8\n"
+            "    _total += _h6(executor, warp, group)\n"
+            "    return _total\n"
+        )
+
+    def test_last_executed_source(self, forced_jit):
+        compiled = _compiled(STRAIGHT)
+        _run(compiled, jit=True)
+        last = jit_module.last_executed_source()
+        assert last is not None
+        segment, source = last
+        assert "@k/entry:0" in segment
+        assert "def _jit_segment" in source
+
+    def test_codegen_spans_recorded(self, forced_jit):
+        compiled = _compiled(STRAIGHT)
+        before = len(jit_module.codegen_spans().spans)
+        _run(compiled, jit=True)
+        spans = jit_module.codegen_spans().spans
+        assert len(spans) > before
+        assert any(span.name.startswith("jit:") for span in spans)
+
+
+class TestPostMortem:
+    def test_post_mortem_carries_jit_source(self, forced_jit):
+        """A launch that dies after executing JIT code attaches the
+        generated source of the last-executed segment to the error's
+        post-mortem report."""
+        compiled = _compiled(RUNAWAY)
+        memory = GlobalMemory()
+        machine = GPUMachine(compiled.module, max_issues=1000, jit=True)
+        with pytest.raises(LaunchError) as excinfo:
+            machine.launch("k", 32, memory=memory)
+        report = excinfo.value.post_mortem
+        assert "jit" in report
+        assert "def _jit_segment" in report["jit"]["source"]
+        assert report["jit"]["segment"].startswith("@k/")
