@@ -291,6 +291,10 @@ class WarpBatcher:
             acc_writes |= writes
             done.append((warp, groups, pc, segment, cycles, group))
 
+        profiler = self.profiler
+        if guard.peak > profiler.batch_peak_footprint:
+            profiler.batch_peak_footprint = guard.peak
+
         if not conflict:
             guard.commit()
             for warp, groups, pc, segment, cycles, group in done:
@@ -313,6 +317,7 @@ class WarpBatcher:
         for _round in range(length):
             for warp, _groups, _pc, _segment in memory_plan:
                 machine._step(warp, executor, scheduler)
+        profiler.batch_replayed_slots += length * len(memory_plan)
         return False
 
     # ------------------------------------------------------------------

@@ -154,7 +154,7 @@ class FootprintMemory:
     batcher treats as a conflict (roll back, replay per-slot).
     """
 
-    __slots__ = ("_cells", "reads", "writes", "_undo", "_limit")
+    __slots__ = ("_cells", "reads", "writes", "_undo", "_limit", "peak")
 
     def __init__(self, memory, limit=4096):
         self._cells = memory._cells
@@ -162,10 +162,17 @@ class FootprintMemory:
         self.writes = set()
         self._undo = []
         self._limit = limit
+        #: largest single-burst footprint drained so far (distinct words
+        #: read + written between two ``take()`` calls) — round-size
+        #: tuning telemetry, surfaced as ``batch.*``/``spec.*`` counters.
+        self.peak = 0
 
     def take(self):
         """Drain and return this burst's ``(reads, writes)`` sets."""
         reads, writes = self.reads, self.writes
+        footprint = len(reads) + len(writes)
+        if footprint > self.peak:
+            self.peak = footprint
         self.reads, self.writes = set(), set()
         return reads, writes
 

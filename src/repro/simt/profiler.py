@@ -49,6 +49,35 @@ class Profiler:
         #: simulated program, so summary() excludes them.
         self.batch_epochs = 0
         self.batch_rollbacks = 0
+        #: FootprintMemory diagnostics for the batcher's guarded epochs:
+        #: slots replayed per-slot after a rollback and the largest
+        #: single-burst footprint (words) any guarded epoch touched.
+        self.batch_replayed_slots = 0
+        self.batch_peak_footprint = 0
+        #: speculative-round diagnostics (repro.simt.spec): rounds
+        #: attempted, warp bursts committed/rolled back, conflicted
+        #: rounds retried serially, adaptive round-size backoffs, slots
+        #: discarded by rollbacks, and the largest per-warp speculative
+        #: footprint. Engine-only, excluded from the invariant part of
+        #: summary() like the other layer counters.
+        self.spec_rounds = 0
+        self.spec_committed = 0
+        self.spec_rolled_back = 0
+        self.spec_retries = 0
+        self.spec_backoffs = 0
+        self.spec_replayed_slots = 0
+        self.spec_peak_footprint = 0
+        #: non-forced-pick attribution: why serial slots could not take
+        #: the forced-pick fast lanes (segment fusion, batching) — the
+        #: denominator for spec.* coverage. ``tie`` counts convergence
+        #: size ties (non-strict-largest), ``multi_group`` counts
+        #: divergent warps under singleton-only policies, ``observed``
+        #: counts slots issued with no segment engine at all (metrics,
+        #: sink, or trace attached, or fastpath/segments off). Engine
+        #: telemetry: varies with knobs while results stay identical.
+        self.nonforced_tie = 0
+        self.nonforced_multi_group = 0
+        self.nonforced_observed = 0
         #: SoA diagnostics (repro.simt.soa): pure chunks executed as numpy
         #: vector columns vs thread-major while SoA was enabled (narrow
         #: group or no bit-identical vector form). Engine-only, excluded
@@ -184,6 +213,18 @@ class Profiler:
             "segments.coverage": fused / total if total else 0.0,
             "batch.epochs": self.batch_epochs,
             "batch.rollbacks": self.batch_rollbacks,
+            "batch.replayed_slots": self.batch_replayed_slots,
+            "batch.peak_footprint": self.batch_peak_footprint,
+            "spec.rounds": self.spec_rounds,
+            "spec.committed": self.spec_committed,
+            "spec.rolled_back": self.spec_rolled_back,
+            "spec.retries": self.spec_retries,
+            "spec.backoffs": self.spec_backoffs,
+            "spec.replayed_slots": self.spec_replayed_slots,
+            "spec.peak_footprint": self.spec_peak_footprint,
+            "spec.nonforced_tie": self.nonforced_tie,
+            "spec.nonforced_multi_group": self.nonforced_multi_group,
+            "spec.nonforced_observed": self.nonforced_observed,
             "soa.vector_chunks": self.soa_chunks,
             "soa.fallback_chunks": self.soa_fallback_chunks,
             "jit.executed_segments": self.jit_segments,
@@ -194,13 +235,19 @@ class Profiler:
     def summary(self):
         """Launch digest; stall attribution appears when metrics were on.
 
-        The ``counters`` entry is engine telemetry (fusion coverage,
-        batch epochs) and therefore *varies* with engine knobs even
-        though every other field is invariant; consumers comparing
-        summaries across engine configurations must drop it (as the
-        conformance fingerprint does).
+        The ``counters`` and ``nonforced_picks`` entries are engine
+        telemetry (fusion coverage, batch epochs, why picks were not
+        forced) and therefore *vary* with engine knobs even though every
+        other field is invariant; consumers comparing summaries across
+        engine configurations must drop both (as the conformance
+        fingerprint does).
         """
         return {
+            "nonforced_picks": {
+                "tie": self.nonforced_tie,
+                "multi_group": self.nonforced_multi_group,
+                "observed": self.nonforced_observed,
+            },
             "issued": self.issued,
             "cycles": self.total_cycles,
             "simt_efficiency": self.simt_efficiency,

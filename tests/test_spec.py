@@ -1,0 +1,465 @@
+"""Speculative rounds: planner, rollback, adaptive backoff, escape hatches.
+
+The conformance matrix (tests/test_conformance.py) pins the speculative
+engine bit-identical to the serial interleaving over the full corpus and
+under the atomics fuzzer; this file covers the pieces in isolation:
+
+* the pure planning helpers — the virtual-group automaton's cut points
+  and the coalescer's group-id fusing boundary;
+* round engagement on real launches: divergent disjoint kernels commit,
+  shared-cell kernels conflict and roll back *exactly*, and the deferred
+  accounting matches the serial profile;
+* the adaptive round-size controller at its boundaries (growth cap,
+  backoff floor, the launch-wide disable, streak resets), driven
+  deterministically through scripted round outcomes;
+* every escape hatch: machine parameter, global knob, context manager,
+  single warp, and schedulers that cannot be snapshotted.
+"""
+
+import pytest
+
+from repro.core import compile_baseline
+from repro.frontend import compile_kernel_source
+from repro.ir.instructions import Opcode
+from repro.obs.counters import ENGINE_COUNTERS
+from repro.simt import (
+    GPUMachine,
+    GlobalMemory,
+    set_spec,
+    spec_disabled,
+    spec_enabled,
+)
+from repro.simt import spec as spec_mod
+from repro.simt.scheduler import SCHEDULERS, SchedulerBase
+from repro.simt.spec import (
+    SpecRounds,
+    _BACKOFF_AFTER,
+    _DISABLE_AFTER,
+    _GROW_AFTER,
+    _MAX_ROUND_SLOTS,
+    _MIN_ROUND_SLOTS,
+    _START_ROUND_SLOTS,
+    _coalesce,
+    _plan_warp,
+    make_spec,
+)
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+
+#: Warp-divergent data-dependent branches over disjoint tid-strided
+#: stores: non-forced picks every iteration, conflict-free footprints.
+DIVERGENT = """
+kernel k(out) {
+    let t = tid();
+    let acc = 0.0;
+    let i = 0.0;
+    while (i < 6.0) {
+        if (hash01(t * 13.0 + i) < 0.5) {
+            acc = fma(acc, 1.01, 1.0);
+            acc = fma(acc, 1.01, 1.0);
+            acc = fma(acc, 1.01, 1.0);
+            acc = fma(acc, 1.01, 1.0);
+        } else {
+            acc = acc + 2.0;
+            acc = acc * 1.5;
+        }
+        i = i + 1.0;
+    }
+    store(out + t, acc);
+}
+"""
+
+#: The same divergent shape but every path bumps one shared counter:
+#: rounds must conflict across warps and roll back exactly.
+SHARED = """
+kernel k(counter, out) {
+    let t = tid();
+    let acc = 0.0;
+    let i = 0.0;
+    while (i < 6.0) {
+        if (hash01(t * 13.0 + i) < 0.5) {
+            acc = acc + atomadd(counter, 1);
+            acc = fma(acc, 1.01, 1.0);
+        } else {
+            acc = acc + atomadd(counter, 1);
+            acc = acc * 1.5;
+        }
+        i = i + 1.0;
+    }
+    store(out + t, acc);
+}
+"""
+
+
+def _run(source, n_args, n_threads=96, **machine_kwargs):
+    module = compile_baseline(compile_kernel_source(source)).module
+    memory = GlobalMemory()
+    if n_args == 1:
+        args = (memory.alloc(n_threads, name="out"),)
+    else:
+        args = (
+            memory.alloc(1, name="counter"),
+            memory.alloc(n_threads, name="out"),
+        )
+    machine = GPUMachine(module, **machine_kwargs)
+    return machine.launch("k", n_threads, args=args, memory=memory)
+
+
+def _fingerprint(launch):
+    summary = launch.profiler.summary()
+    # Engine telemetry legitimately differs between the speculative and
+    # the serial configuration; results must not.
+    summary.pop("counters", None)
+    summary.pop("nonforced_picks", None)
+    return (
+        launch.store_traces(),
+        launch.retired_per_thread(),
+        summary,
+        launch.cycles,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pure planning helpers
+# ----------------------------------------------------------------------
+
+class _Ns:
+    def __init__(self, **kw):
+        self.__dict__.update(kw)
+
+
+class _Seg:
+    def __init__(self, n):
+        self.n = n
+
+
+def _entry(opcode):
+    return _Ns(opcode=opcode)
+
+
+class TestPlanWarp:
+    """The virtual-group automaton: cut points and merge bookkeeping."""
+
+    def _plan(self, entries, groups, limit=16):
+        def entry_at(pc):
+            return entries[pc]
+
+        def cursor(vgroups, program_order, slot):
+            # Deterministic single-policy stand-in: lowest block index.
+            return min(vgroups, key=lambda pc: pc[2])
+
+        return _plan_warp(
+            groups, cursor, lambda pc: pc[2], entry_at, limit
+        )
+
+    def test_cuts_at_first_non_fusable_opcode(self):
+        entries = {
+            ("k", "b", 0): _entry(Opcode.FMA),
+            ("k", "b", 1): _entry(Opcode.ADD),
+            ("k", "b", 2): _entry(Opcode.CALL),  # never planned past
+            ("k", "b", 3): _entry(Opcode.MUL),
+        }
+        groups = {("k", "b", 0): [_Ns(lane=0)]}
+        picks = self._plan(entries, groups)
+        assert [(pc, e.opcode) for pc, e, _gid in picks] == [
+            (("k", "b", 0), Opcode.FMA),
+            (("k", "b", 1), Opcode.ADD),
+        ]
+
+    def test_cuts_at_the_limit(self):
+        entries = {
+            ("k", "b", i): _entry(Opcode.FMA) for i in range(8)
+        }
+        groups = {("k", "b", 0): [_Ns(lane=0)]}
+        assert len(self._plan(entries, groups, limit=3)) == 3
+
+    def test_merge_assigns_a_fresh_group_id(self):
+        """A bucket falling through onto a resident bucket merges with a
+        group id neither had, so the coalescer cannot fuse across the
+        point where the serial path re-sorts the lanes."""
+        entries = {
+            ("k", "b", 0): _entry(Opcode.FMA),
+            ("k", "b", 1): _entry(Opcode.ADD),
+            ("k", "b", 2): _entry(Opcode.MUL),
+        }
+        groups = {
+            ("k", "b", 0): [_Ns(lane=4)],
+            ("k", "b", 1): [_Ns(lane=0)],
+        }
+        picks = self._plan(entries, groups, limit=2)
+        assert [pc for pc, _e, _g in picks] == [
+            ("k", "b", 0), ("k", "b", 1),
+        ]
+        gid_first, gid_merged = picks[0][2], picks[1][2]
+        assert gid_merged != gid_first
+
+    def test_empty_plan_when_first_pick_is_non_fusable(self):
+        entries = {("k", "b", 0): _entry(Opcode.EXIT)}
+        groups = {("k", "b", 0): [_Ns(lane=0)]}
+        assert self._plan(entries, groups) == []
+
+
+class TestCoalesce:
+    def test_contiguous_same_group_run_fuses(self):
+        picks = [
+            (("k", "b", 0), "e0", 0),
+            (("k", "b", 1), "e1", 0),
+            (("k", "b", 2), "e2", 0),
+        ]
+        steps = _coalesce(picks, 3, lambda pc, run: _Seg(run))
+        assert len(steps) == 1
+        segment, pc, entry = steps[0]
+        assert (segment.n, pc, entry) == (3, ("k", "b", 0), None)
+
+    def test_group_id_change_ends_the_run(self):
+        picks = [
+            (("k", "b", 0), "e0", 0),
+            (("k", "b", 1), "e1", 0),
+            (("k", "b", 2), "e2", 7),  # merged: fresh gid
+        ]
+        steps = _coalesce(picks, 3, lambda pc, run: _Seg(run))
+        assert [
+            (s.n if s else None, pc, e) for s, pc, e in steps
+        ] == [(2, ("k", "b", 0), None), (None, ("k", "b", 2), "e2")]
+
+    def test_non_contiguous_pcs_issue_per_slot(self):
+        picks = [
+            (("k", "b", 0), "e0", 0),
+            (("k", "c", 0), "e1", 0),  # different block: no run
+        ]
+        steps = _coalesce(picks, 2, lambda pc, run: _Seg(run))
+        assert [s for s, _pc, _e in steps] == [None, None]
+
+    def test_unfusable_run_falls_back_per_slot(self):
+        """segment_bounded declining a run (no table entry) must not
+        drop slots — each issues through its decoded entry."""
+        picks = [
+            (("k", "b", 0), "e0", 0),
+            (("k", "b", 1), "e1", 0),
+        ]
+        steps = _coalesce(picks, 2, lambda pc, run: None)
+        assert [(s, e) for s, _pc, e in steps] == [
+            (None, "e0"), (None, "e1"),
+        ]
+
+
+# ----------------------------------------------------------------------
+# Round engagement on real launches
+# ----------------------------------------------------------------------
+
+def _eager_pacing(monkeypatch):
+    """Pin the attempt-pacing knobs so tiny test launches attempt (and
+    run) a round at every opportunity. The post-failure cooldown and the
+    profitability floors exist to keep speculation from losing time on
+    real sweeps; the subjects here are engagement and rollback
+    semantics, which the pacing would otherwise starve on kernels whose
+    fusable runs are only a few slots long."""
+    monkeypatch.setattr(spec_mod, "_PLAN_COOLDOWN", 0)
+    monkeypatch.setattr(spec_mod, "_MIN_COMMIT_SLOTS", 2)
+    monkeypatch.setattr(spec_mod, "_MIN_GUARDED_SLOTS", 2)
+    monkeypatch.setattr(spec_mod, "_PER_SLOT_WEIGHT", 0)
+
+
+class TestRoundEngagement:
+    def test_divergent_rounds_commit_and_match_serial(self, monkeypatch):
+        _eager_pacing(monkeypatch)
+        for scheduler in sorted(SCHEDULERS):
+            serial = _run(DIVERGENT, 1, scheduler=scheduler, spec=False)
+            speculative = _run(DIVERGENT, 1, scheduler=scheduler, spec=True)
+            assert _fingerprint(speculative) == _fingerprint(serial), (
+                scheduler
+            )
+            assert serial.profiler.spec_rounds == 0
+            assert speculative.profiler.spec_rounds > 0, scheduler
+            assert speculative.profiler.spec_committed > 0, scheduler
+            # Disjoint tid-strided footprints: nothing may conflict.
+            assert speculative.profiler.spec_retries == 0, scheduler
+            assert speculative.profiler.spec_rolled_back == 0, scheduler
+
+    def test_shared_cell_conflicts_roll_back_exactly(self, monkeypatch):
+        """Cross-warp atomics on one counter force real round conflicts;
+        the rollback must be exact — the speculative launch reproduces
+        the serial fetched-ticket sequence bit-for-bit. Pacing is pinned
+        eager so this tiny launch attempts a round at every opportunity
+        — the subject here is rollback exactness, not attempt pacing."""
+        _eager_pacing(monkeypatch)
+        serial = _run(SHARED, 2, spec=False)
+        speculative = _run(SHARED, 2, spec=True)
+        assert _fingerprint(speculative) == _fingerprint(serial)
+        profiler = speculative.profiler
+        assert profiler.spec_retries > 0
+        assert profiler.spec_rolled_back > 0
+        assert profiler.spec_replayed_slots > 0
+        # The shared cell lands in the round footprint.
+        assert profiler.spec_peak_footprint > 0
+
+    def test_conflict_streaks_shrink_the_round(self, monkeypatch):
+        _eager_pacing(monkeypatch)
+        speculative = _run(SHARED, 2, spec=True)
+        assert speculative.profiler.spec_backoffs > 0
+
+    def test_deferred_accounting_matches_serial_per_warp(self, monkeypatch):
+        _eager_pacing(monkeypatch)
+        serial = _run(DIVERGENT, 1, spec=False)
+        speculative = _run(DIVERGENT, 1, spec=True)
+        assert speculative.profiler.spec_rounds > 0
+        assert (
+            speculative.profiler.warp_cycles == serial.profiler.warp_cycles
+        )
+        serial_blocks = serial.profiler.block_profiles
+        spec_blocks = speculative.profiler.block_profiles
+        assert set(spec_blocks) == set(serial_blocks)
+        for key, expect in serial_blocks.items():
+            got = spec_blocks[key]
+            assert (got.issues, got.active_sum, got.visits, got.cycles) == (
+                expect.issues, expect.active_sum, expect.visits,
+                expect.cycles,
+            ), key
+
+
+# ----------------------------------------------------------------------
+# Adaptive round-size controller
+# ----------------------------------------------------------------------
+
+def _scripted_spec(monkeypatch, outcomes):
+    """A SpecRounds whose planning always fills the round and whose
+    execution outcome is scripted: each try_round pops one bool from
+    ``outcomes`` (True = committed, False = conflicted). Only the
+    adaptive controller runs for real."""
+    profiler = _Ns(
+        spec_rounds=0, spec_committed=0, spec_retries=0, spec_backoffs=0,
+        spec_rolled_back=0, spec_replayed_slots=0, spec_peak_footprint=0,
+    )
+    decoded = _Ns(segment_bounded=lambda pc, n: None, entry=lambda pc: None)
+    executor = _Ns(
+        profiler=profiler, _decoded=decoded, program_order=lambda pc: 0,
+    )
+    machine = _Ns(spec=None, max_issues=10 ** 9, _recorder=None)
+    scheduler = _Ns(
+        spec_cursor=lambda n, j: (lambda vg, po, s: None),
+        spec_plan_token=lambda n, j: 0,
+        consume=lambda n: None,
+    )
+    spec = SpecRounds(machine, executor, scheduler)
+    monkeypatch.setattr(
+        spec_mod, "_plan_warp",
+        lambda groups, cursor, order, entry, limit: [(None, None, 0)] * limit,
+    )
+    monkeypatch.setattr(spec_mod, "_coalesce", lambda p, n, s: [])
+    # The post-failure cooldown throttles real launches; the controller
+    # tests want every scripted outcome to be one attempted round.
+    monkeypatch.setattr(spec_mod, "_PLAN_COOLDOWN", 0)
+    monkeypatch.setattr(
+        SpecRounds, "_execute_round",
+        lambda self, warps, steps, length: outcomes.pop(0),
+    )
+    warps = [_Ns(groups_cache={"pc": [_Ns(lane=0)]}) for _ in range(2)]
+    return spec, warps
+
+
+class TestRoundSizeController:
+    def test_growth_doubles_and_caps(self, monkeypatch):
+        rounds = 3 * _GROW_AFTER
+        spec, warps = _scripted_spec(monkeypatch, [True] * rounds)
+        sizes = []
+        for _ in range(rounds):
+            assert spec.try_round(warps, 0) is not None
+            sizes.append(spec.round_size)
+        assert spec.round_size == _MAX_ROUND_SLOTS
+        assert sizes[_GROW_AFTER - 1] == 2 * _START_ROUND_SLOTS
+        assert max(sizes) == _MAX_ROUND_SLOTS
+
+    def test_backoff_halves_to_the_floor(self, monkeypatch):
+        # Halvings from the start size down to the floor, each costing
+        # a full conflict streak.
+        halvings = 0
+        size = _START_ROUND_SLOTS
+        while size > _MIN_ROUND_SLOTS:
+            size //= 2
+            halvings += 1
+        conflicts = halvings * _BACKOFF_AFTER
+        spec, warps = _scripted_spec(monkeypatch, [False] * conflicts)
+        for _ in range(conflicts):
+            assert spec.try_round(warps, 0) is None
+        assert spec.round_size == _MIN_ROUND_SLOTS
+        assert spec.profiler.spec_backoffs == halvings
+        assert spec.enabled
+
+    def test_persistent_floor_conflicts_disable_the_launch(self, monkeypatch):
+        halvings = 2  # 16 -> 8 -> 4 with the shipped constants
+        conflicts = halvings * _BACKOFF_AFTER + _DISABLE_AFTER
+        spec, warps = _scripted_spec(monkeypatch, [False] * (conflicts + 1))
+        before = ENGINE_COUNTERS.spec_disables
+        for _ in range(conflicts):
+            assert spec.try_round(warps, 0) is None
+        assert not spec.enabled
+        assert ENGINE_COUNTERS.spec_disables == before + 1
+        # Disabled: no further round is attempted (outcome not consumed).
+        assert spec.try_round(warps, 0) is None
+        assert spec.profiler.spec_rounds == conflicts
+
+    def test_commit_resets_the_conflict_streak(self, monkeypatch):
+        # Alternate conflict/commit forever: the streak never reaches
+        # _BACKOFF_AFTER, so the round size never shrinks.
+        outcomes = [False, True] * (2 * _DISABLE_AFTER)
+        spec, warps = _scripted_spec(monkeypatch, outcomes)
+        for _ in range(len(outcomes)):
+            spec.try_round(warps, 0)
+        assert spec.round_size >= _START_ROUND_SLOTS
+        assert spec.profiler.spec_backoffs == 0
+        assert spec.enabled
+
+
+# ----------------------------------------------------------------------
+# Escape hatches
+# ----------------------------------------------------------------------
+
+class TestEscapeHatches:
+    def test_machine_parameter_disables(self):
+        launch = _run(DIVERGENT, 1, spec=False)
+        assert launch.profiler.spec_rounds == 0
+
+    def test_context_manager_disables_default(self):
+        assert spec_enabled()
+        with spec_disabled():
+            assert not spec_enabled()
+            launch = _run(DIVERGENT, 1)
+        assert spec_enabled()
+        assert launch.profiler.spec_rounds == 0
+
+    def test_machine_parameter_overrides_global_default(self, monkeypatch):
+        _eager_pacing(monkeypatch)
+        with spec_disabled():
+            launch = _run(DIVERGENT, 1, spec=True)
+        assert launch.profiler.spec_rounds > 0
+
+    def test_set_spec_returns_previous(self):
+        previous = set_spec(False)
+        try:
+            assert previous is True
+            assert set_spec(True) is False
+        finally:
+            set_spec(True)
+
+    def test_single_warp_never_speculates(self):
+        launch = _run(DIVERGENT, 1, n_threads=32, spec=True)
+        assert launch.profiler.spec_rounds == 0
+
+    def test_base_scheduler_cannot_be_snapshotted(self):
+        assert SchedulerBase().spec_cursor(2, 0) is None
+
+    def test_make_spec_requires_a_snapshot_cursor(self):
+        executor = _Ns(segment_at=object())
+        machine = _Ns(spec=True)
+        assert (
+            make_spec(machine, executor, SchedulerBase(), "k", (), 96)
+            is None
+        )
+
+    def test_make_spec_requires_a_segment_engine(self):
+        machine = _Ns(spec=True)
+        executor = _Ns(segment_at=None)
+        scheduler = _Ns(spec_cursor=lambda n, j: (lambda vg, po, s: None))
+        assert make_spec(machine, executor, scheduler, "k", (), 96) is None
